@@ -1,0 +1,82 @@
+"""Appendix A: why offline BIGrid building (for a fixed r') does not pay.
+
+Two measured demonstrations on the Neuron-2 analogue:
+
+1. **Correctness breaks.**  With an offline grid built for r' != r,
+   Lemma 1 / Lemma 2 no longer hold: a small grid sized for r' > r
+   "certifies" pairs that are farther than r (lower bounds exceed true
+   scores), and a large grid sized for r' < r misses within-r pairs in
+   non-adjacent cells (upper bounds fall below true scores).  The bench
+   counts the violations.
+
+2. **No cost advantage.**  Grid mapping is a single O(nm) pass and is a
+   minority of the total query time, so rebuilding per query (the paper's
+   online choice) costs little -- there is no meaningful saving for an
+   offline grid to realize even if it were correct.
+"""
+
+from repro.baselines.nested_loop import brute_force_scores
+from repro.bench.reporting import format_table
+from repro.core.engine import MIOEngine
+from repro.core.lower_bound import compute_lower_bounds
+from repro.core.upper_bound import compute_upper_bounds
+from repro.grid.bigrid import BIGrid
+from repro.grid.keys import large_cell_width, small_cell_width
+
+DATASET = "neuron-2"
+R_QUERY = 4.0
+
+
+def _bound_violations(collection, r_query, r_offline):
+    """(lower-bound violations, upper-bound violations) under an offline grid."""
+    bigrid = BIGrid.build(
+        collection,
+        r=r_query,
+        small_width=small_cell_width(r_offline, collection.dimension),
+        large_width=large_cell_width(r_offline),
+    )
+    truth = brute_force_scores(collection, r_query)
+    lower = compute_lower_bounds(bigrid).values
+    upper = compute_upper_bounds(bigrid, tau_max_low=0).values
+    lower_bad = sum(1 for oid in range(collection.n) if lower[oid] > truth[oid])
+    upper_bad = sum(1 for oid in range(collection.n) if upper[oid] < truth[oid])
+    return lower_bad, upper_bad
+
+
+def test_appendix_a_offline_grids(datasets, report, benchmark):
+    collection = datasets[DATASET]
+
+    def collect():
+        rows = []
+        for r_offline in (2.0, R_QUERY, 8.0):
+            lower_bad, upper_bad = _bound_violations(collection, R_QUERY, r_offline)
+            rows.append([r_offline, R_QUERY, lower_bad, upper_bad])
+        online = MIOEngine(collection).query(R_QUERY)
+        build_fraction = online.phases["grid_mapping"] / online.total_time
+        return rows, build_fraction
+
+    rows, build_fraction = benchmark.pedantic(collect, rounds=1, iterations=1)
+    report(
+        "appendixA_offline",
+        format_table(
+            ["grid r'", "query r", "lower-bound violations", "upper-bound violations"],
+            rows,
+            title=(
+                "Appendix A analogue: bound violations with offline grids "
+                f"(dataset {DATASET}); online grid build is "
+                f"{100.0 * build_fraction:.0f}% of query time"
+            ),
+        ),
+    )
+
+    matched = next(row for row in rows if row[0] == R_QUERY)
+    too_small = next(row for row in rows if row[0] < R_QUERY)
+    too_large = next(row for row in rows if row[0] > R_QUERY)
+    # The online grid (r' == r) is sound.
+    assert matched[2] == 0 and matched[3] == 0
+    # r' < r: the large grid misses within-r pairs => upper bounds break.
+    assert too_small[3] > 0
+    # r' > r: the small grid over-certifies => lower bounds break.
+    assert too_large[2] > 0
+    # Rebuilding online is affordable: grid mapping is a minority cost.
+    assert build_fraction < 0.75

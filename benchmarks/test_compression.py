@@ -1,0 +1,85 @@
+"""Footnote 4: bitset compression on the real workloads.
+
+The paper reports that EWAH compresses each cell bitset by 80-99.9% in
+bytes relative to uncompressed bitsets in the default setting.  This bench
+builds the BIGrid for every dataset and compares the stored (EWAH) bitset
+bytes against what fixed-size uncompressed bitsets (one word per 64
+objects, for every cell) would occupy, and also times a full query under
+each backend.
+"""
+
+from repro.bench.reporting import format_table
+from repro.core.engine import MIOEngine
+from repro.grid.bigrid import BIGrid
+
+from conftest import ALL_DATASETS, DEFAULT_R
+
+
+def _bitset_bytes(bigrid):
+    """(compressed bytes, uncompressed-equivalent bytes) over all cells."""
+    n = bigrid.collection.n
+    uncompressed_per_cell = 8 * (-(-n // 64))
+    compressed = 0
+    cells = 0
+    for cell in bigrid.small_grid.cells.values():
+        compressed += cell.bitset.size_in_bytes()
+        cells += 1
+    for cell in bigrid.large_grid.cells.values():
+        compressed += cell.bitset.size_in_bytes()
+        cells += 1
+    return compressed, cells * uncompressed_per_cell
+
+
+def test_compression_ratio(datasets, report, benchmark):
+    def collect():
+        rows = []
+        for name in ALL_DATASETS:
+            collection = datasets[name]
+            bigrid = BIGrid.build(collection, r=DEFAULT_R)
+            compressed, uncompressed = _bitset_bytes(bigrid)
+            ratio = 1.0 - compressed / uncompressed
+            ewah_time = MIOEngine(collection, backend="ewah").query(DEFAULT_R).total_time
+            plain_time = MIOEngine(collection, backend="plain").query(DEFAULT_R).total_time
+            rows.append(
+                [
+                    name,
+                    round(compressed / 1024.0, 1),
+                    round(uncompressed / 1024.0, 1),
+                    f"{100.0 * ratio:.1f}%",
+                    round(ewah_time, 4),
+                    round(plain_time, 4),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    report(
+        "compression",
+        format_table(
+            [
+                "dataset",
+                "EWAH [KiB]",
+                "uncompressed [KiB]",
+                "saved",
+                "ewah query [s]",
+                "plain query [s]",
+            ],
+            rows,
+            title=f"Footnote 4 analogue: cell-bitset compression at r={DEFAULT_R}",
+        ),
+    )
+
+    saved_by_name = {row[0]: float(row[3].rstrip("%")) for row in rows}
+    sizes = {name: datasets[name].n for name in saved_by_name}
+    # Compression pays in proportion to n (an uncompressed bitset is
+    # ceil(n/64) words per cell): the paper's datasets have n >= 776 and
+    # save >80%; our scaled neuron analogue has n = 90 (two words per
+    # cell), where marker overhead can even win.  Assert the trend: every
+    # dataset with a few hundred objects compresses substantially, and the
+    # largest-n dataset compresses the most.
+    for name, saved in saved_by_name.items():
+        if sizes[name] >= 300:
+            assert saved > 50.0, f"{name}: EWAH should compress cell bitsets"
+    largest = max(sizes, key=sizes.get)
+    assert saved_by_name[largest] == max(saved_by_name.values())
+    assert saved_by_name[largest] > 80.0  # the paper's ">80%" regime

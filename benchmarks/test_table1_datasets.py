@@ -1,0 +1,43 @@
+"""Table I: dataset statistics.
+
+Regenerates the paper's dataset table for the scaled analogues, alongside
+the original sizes, and checks the analogues keep the paper's n : m shape
+(Neuron: few big objects; Bird: many small objects; Syn: the largest n).
+"""
+
+from repro.bench.reporting import format_table
+from repro.datasets import dataset_table
+
+
+def test_table1_dataset_statistics(benchmark, report):
+    rows = benchmark.pedantic(dataset_table, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "n", "m", "nm", "dim", "unit", "paper n", "paper m", "paper nm"],
+        [
+            [
+                row["dataset"],
+                row["n"],
+                row["m"],
+                row["nm"],
+                row["dim"],
+                row["unit"],
+                row["paper_n"],
+                row["paper_m"],
+                row["paper_nm"],
+            ]
+            for row in rows
+        ],
+        title="Table I analogue: dataset statistics (scaled, same n:m shape)",
+    )
+    report("table1_datasets", table)
+
+    by_name = {row["dataset"]: row for row in rows}
+    # Shape checks mirroring the paper's Table I.
+    assert by_name["neuron"]["n"] < by_name["neuron-2"]["n"]
+    assert by_name["neuron"]["m"] > by_name["neuron-2"]["m"]
+    assert by_name["bird"]["n"] > by_name["bird-2"]["n"]
+    assert by_name["bird"]["m"] < by_name["bird-2"]["m"]
+    assert by_name["syn"]["n"] == max(row["n"] for row in rows)
+    # Same unit structure as the paper.
+    assert by_name["neuron"]["unit"] == "micrometer"
+    assert by_name["bird"]["unit"] == "meter"

@@ -1,0 +1,50 @@
+"""Beyond 3 dimensions: the paper's future work, implemented.
+
+BIGrid's grids stop working in high-dimensional spaces (the 3^d-cell
+neighbourhood of the upper bound explodes), which the paper's conclusion
+leaves as future work.  ``repro.highdim`` keeps the paper's
+filter-and-verification *framework* but swaps the grid bounds for
+dimension-agnostic bounding-sphere bounds.  This example runs the same
+MIO analysis on feature-vector objects from 2 to 16 dimensions and shows
+the pruning holding steady.
+
+Run:  python examples/highdim_extension.py
+"""
+
+import math
+
+from repro.highdim import MetricMIOEngine, make_highdim_clusters
+
+
+def main() -> None:
+    r = 4.0
+    print("MIO queries across dimensions (metric bounding-sphere engine):")
+    print(f"{'d':>3} | {'winner':>7} | {'score':>5} | {'candidates':>10} "
+          f"| {'verified':>8} | {'time [ms]':>9}")
+    for dimension in (2, 3, 4, 8, 16):
+        collection = make_highdim_clusters(
+            n=150,
+            mean_points=10,
+            dimension=dimension,
+            n_clusters=12,
+            extent=400.0,
+            # Keep object radii constant as d grows.
+            cluster_radius=1.2 / math.sqrt(dimension),
+            seed=dimension,
+        )
+        engine = MetricMIOEngine(collection)
+        result = engine.query(r)
+        # Spot-check exactness against brute force.
+        assert result.score == max(engine.brute_force_scores(r))
+        print(f"{dimension:>3} | {'o_' + str(result.winner):>7} | {result.score:>5} "
+              f"| {result.counters['candidates']:>10} "
+              f"| {result.counters['verified_objects']:>8} "
+              f"| {result.total_time * 1e3:>9.2f}")
+
+    print("\nthe sphere bounds cost O(n^2 d) -- no 3^d blow-up -- so both the")
+    print("candidate fraction and the run time stay flat as d grows, while")
+    print("every answer above was verified exact against brute force.")
+
+
+if __name__ == "__main__":
+    main()

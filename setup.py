@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (pip --no-use-pep517) in offline
+environments without the `wheel` package; all metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Competitor algorithms the paper evaluates BIGrid against.
+
+* :class:`NestedLoopAlgorithm`   -- NL, Algorithm 1 (no index, early exit)
+* :class:`KDTreeNestedLoop`      -- the kd-tree NL variant of footnote 9
+* :class:`RTreeNestedLoop`       -- NL behind an STR R-tree MBR filter,
+  testing Section II-B's claim that MBR indexing cannot help
+* :class:`SimpleGridAlgorithm`   -- SG, the TOUCH-style single-grid
+  competitor described in Section V-A
+* :class:`TheoreticalAlgorithm`  -- the O(n log n)-query / O(n^2)-space
+  algorithm of Theorem 1 (with its prohibitive pre-processing)
+
+Each exposes ``query(r)`` (and ``scores(r)`` where the algorithm naturally
+computes every score) returning the same :class:`~repro.core.query.MIOResult`
+as the BIGrid engine.
+"""
+
+from repro.baselines.nested_loop import NestedLoopAlgorithm
+from repro.baselines.nl_kdtree import KDTreeNestedLoop
+from repro.baselines.rtree_nl import RTreeNestedLoop
+from repro.baselines.simple_grid import SimpleGridAlgorithm
+from repro.baselines.theoretical import TheoreticalAlgorithm
+
+__all__ = [
+    "KDTreeNestedLoop",
+    "NestedLoopAlgorithm",
+    "RTreeNestedLoop",
+    "SimpleGridAlgorithm",
+    "TheoreticalAlgorithm",
+]

@@ -1,0 +1,129 @@
+"""SG: the simple-grid competitor (Section V-A).
+
+SG is the paper's stand-in for state-of-the-art in-memory spatial join
+(TOUCH [5]) specialized to the MIO problem: build a uniform grid of width
+``r`` online, then compute ``tau(o)`` for *every* object by checking, for
+each of its points, the posting lists in the point's cell and the adjacent
+cells, with an early exit per already-confirmed partner object.
+
+SG prunes distance computations (only grid-near points are compared) but,
+unlike BIGrid, it has no lower/upper bounds, so it must score all n objects
+exactly -- and *denser cells for larger r* make it slower as ``r`` grows,
+the opposite trend to NL (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro.core.geometry import squared_distances_to
+from repro.core.objects import ObjectCollection
+from repro.core.query import MIOResult
+from repro.grid.keys import WIDTH_GUARD, Key, cell_and_adjacent_keys, compute_keys
+
+
+class _SGCell:
+    """Posting lists (object -> point indices) of one width-r cell."""
+
+    __slots__ = ("postings", "_point_cache")
+
+    def __init__(self) -> None:
+        self.postings: Dict[int, List[int]] = {}
+        self._point_cache: Dict[int, np.ndarray] = {}
+
+    def posting_points(self, oid: int, points: np.ndarray) -> np.ndarray:
+        cached = self._point_cache.get(oid)
+        if cached is None:
+            cached = points[self.postings[oid]]
+            self._point_cache[oid] = cached
+        return cached
+
+
+class SimpleGridAlgorithm:
+    """The SG baseline over a static collection."""
+
+    def __init__(self, collection: ObjectCollection) -> None:
+        self.collection = collection
+        self._cells: Dict[Key, _SGCell] = {}
+        self._object_keys: List[List[Key]] = []
+        self._width = 0.0
+
+    # ------------------------------------------------------------------
+    # Index construction (online, like BIGrid)
+    # ------------------------------------------------------------------
+
+    def build(self, r: float) -> float:
+        """Build the width-r grid; returns the build time in seconds."""
+        if r <= 0:
+            raise ValueError("the distance threshold r must be positive")
+        started = time.perf_counter()
+        self._cells = {}
+        self._object_keys = []
+        # Same float-boundary guard as the BIGrid widths (see grid.keys).
+        self._width = r * (1.0 + WIDTH_GUARD)
+        for obj in self.collection:
+            keys = compute_keys(obj.points, self._width)
+            self._object_keys.append(keys)
+            for point_index, key in enumerate(keys):
+                cell = self._cells.get(key)
+                if cell is None:
+                    cell = _SGCell()
+                    self._cells[key] = cell
+                cell.postings.setdefault(obj.oid, []).append(point_index)
+        return time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def _score(self, oid: int, r: float) -> int:
+        collection = self.collection
+        points = collection[oid].points
+        r_squared = r * r
+        confirmed: Set[int] = set()
+        for point_index, key in enumerate(self._object_keys[oid]):
+            point = points[point_index]
+            for neighbor_key in cell_and_adjacent_keys(key):
+                cell = self._cells.get(neighbor_key)
+                if cell is None:
+                    continue
+                for other_oid in cell.postings:
+                    if other_oid == oid or other_oid in confirmed:
+                        continue
+                    other_points = cell.posting_points(other_oid, collection[other_oid].points)
+                    if np.min(squared_distances_to(point, other_points)) <= r_squared:
+                        confirmed.add(other_oid)
+        return len(confirmed)
+
+    def scores(self, r: float) -> List[int]:
+        """Exact ``tau(o)`` for every object (builds the grid first)."""
+        self.build(r)
+        return [self._score(oid, r) for oid in range(self.collection.n)]
+
+    def query(self, r: float) -> MIOResult:
+        build_time = self.build(r)
+        started = time.perf_counter()
+        tau = [self._score(oid, r) for oid in range(self.collection.n)]
+        scoring_time = time.perf_counter() - started
+        winner = max(range(len(tau)), key=lambda oid: (tau[oid], -oid))
+        return MIOResult(
+            algorithm="sg",
+            r=r,
+            winner=winner,
+            score=tau[winner],
+            phases={"build": build_time, "scoring": scoring_time},
+            counters={"cells": len(self._cells)},
+            memory_bytes=self.memory_bytes(),
+        )
+
+    def memory_bytes(self) -> int:
+        """Grid footprint: hash entries plus posting lists."""
+        per_entry = 8 * self.collection.dimension + 8
+        total = per_entry * len(self._cells)
+        for cell in self._cells.values():
+            for posting in cell.postings.values():
+                total += 16 + 8 * len(posting)
+        return total

@@ -1,0 +1,109 @@
+"""The theoretical O(n log n)-query algorithm (Theorem 1).
+
+Pre-processing stores, for every object, the sorted distances of its
+closest point pairs to every other object; a query then binary-searches
+each array.  Queries are fast and threshold-independent, but the
+pre-processing is O(n^2 (m log m + log n)) and the arrays occupy O(n^2)
+memory -- exactly the trade-off Section II-B uses to motivate BIGrid (the
+paper could not even finish this pre-processing within 8 hours).
+
+``preprocess`` therefore takes a ``budget_pairs`` guard so benchmarks can
+demonstrate the blow-up without paying it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.objects import ObjectCollection
+from repro.core.query import MIOResult
+from repro.spatial.closest_pair import closest_pair_distance_with_tree
+from repro.spatial.kdtree import KDTree
+
+
+class TheoreticalAlgorithm:
+    """Closest-pair arrays + binary search (Theorem 1)."""
+
+    def __init__(self, collection: ObjectCollection) -> None:
+        self.collection = collection
+        #: ``A_i``: sorted closest-pair distances from object i to the others.
+        self._arrays: Optional[List[np.ndarray]] = None
+        self.preprocess_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Pre-processing
+    # ------------------------------------------------------------------
+
+    def preprocess(self, budget_pairs: Optional[int] = None) -> float:
+        """Build all ``A_i`` arrays; returns the elapsed seconds.
+
+        Raises ``RuntimeError`` if the number of object pairs exceeds
+        ``budget_pairs`` (the analogue of the paper's 8-hour timeout).
+        """
+        collection = self.collection
+        n = collection.n
+        total_pairs = n * (n - 1) // 2
+        if budget_pairs is not None and total_pairs > budget_pairs:
+            raise RuntimeError(
+                f"theoretical pre-processing needs {total_pairs} closest-pair "
+                f"computations, over the budget of {budget_pairs}"
+            )
+        started = time.perf_counter()
+        trees = [KDTree(obj.points) for obj in collection]
+        closest = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            points_i = collection[i].points
+            for j in range(i + 1, n):
+                # Probe the larger object's tree with the smaller's points.
+                if len(points_i) <= len(collection[j].points):
+                    distance = closest_pair_distance_with_tree(points_i, trees[j])
+                else:
+                    distance = closest_pair_distance_with_tree(collection[j].points, trees[i])
+                closest[i, j] = distance
+                closest[j, i] = distance
+        self._arrays = []
+        for i in range(n):
+            row = np.delete(closest[i], i)
+            row.sort()
+            self._arrays.append(row)
+        self.preprocess_seconds = time.perf_counter() - started
+        return self.preprocess_seconds
+
+    @property
+    def is_preprocessed(self) -> bool:
+        return self._arrays is not None
+
+    def memory_bytes(self) -> int:
+        """The O(n^2) array footprint."""
+        if self._arrays is None:
+            return 0
+        return sum(array.nbytes for array in self._arrays)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def scores(self, r: float) -> List[int]:
+        """``tau(o)`` for every object via one binary search per object."""
+        if self._arrays is None:
+            raise RuntimeError("call preprocess() before querying")
+        if r <= 0:
+            raise ValueError("the distance threshold r must be positive")
+        return [int(np.searchsorted(array, r, side="right")) for array in self._arrays]
+
+    def query(self, r: float) -> MIOResult:
+        started = time.perf_counter()
+        tau = self.scores(r)
+        elapsed = time.perf_counter() - started
+        winner = max(range(len(tau)), key=lambda oid: (tau[oid], -oid))
+        return MIOResult(
+            algorithm="theoretical",
+            r=r,
+            winner=winner,
+            score=tau[winner],
+            phases={"binary_search": elapsed},
+            memory_bytes=self.memory_bytes(),
+        )

@@ -1,0 +1,116 @@
+"""Uniform algorithm runner for the benchmark suite.
+
+``run_algorithm(name, collection, r)`` executes one of the paper's four
+evaluated algorithms (NL, SG, BIGrid, BIGrid-label) -- plus the extras this
+repository implements (kd-tree NL, the theoretical algorithm) -- and
+returns a :class:`BenchRecord` with the query processing time (the sum of
+the algorithm's phase times, excluding memory-accounting bookkeeping), the
+answer, the index memory, and the phase breakdown: everything Figs. 5-7
+and Table II report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.baselines import (
+    KDTreeNestedLoop,
+    NestedLoopAlgorithm,
+    RTreeNestedLoop,
+    SimpleGridAlgorithm,
+    TheoreticalAlgorithm,
+)
+from repro.core.engine import MIOEngine
+from repro.core.labels import LabelStore
+from repro.core.objects import ObjectCollection
+from repro.core.query import MIOResult
+
+ALGORITHMS = ("nl", "nl-kdtree", "nl-rtree", "sg", "bigrid", "bigrid-label", "theoretical")
+
+
+@dataclass
+class BenchRecord:
+    """One algorithm run: what the paper's plots consume."""
+
+    algorithm: str
+    dataset: str
+    r: float
+    seconds: float
+    winner: int
+    score: int
+    memory_bytes: int
+    phases: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def memory_kib(self) -> float:
+        return self.memory_bytes / 1024.0
+
+
+def run_algorithm(
+    name: str,
+    collection: ObjectCollection,
+    r: float,
+    dataset: str = "",
+    k: int = 1,
+    label_store: Optional[LabelStore] = None,
+    backend: str = "ewah",
+) -> BenchRecord:
+    """Run one algorithm once and record everything the figures need.
+
+    ``bigrid-label`` needs a ``label_store`` that already holds labels for
+    ``ceil(r)`` (run ``bigrid`` with the same store first); this mirrors the
+    paper's setup where BIGrid-label consumes the labels a previous query
+    with the same ceiling produced.
+    """
+    result = _dispatch(name, collection, r, k, label_store, backend)
+    return BenchRecord(
+        algorithm=name,
+        dataset=dataset,
+        r=r,
+        seconds=result.total_time,
+        winner=result.winner,
+        score=result.score,
+        memory_bytes=result.memory_bytes,
+        phases=dict(result.phases),
+        counters=dict(result.counters),
+    )
+
+
+def _dispatch(
+    name: str,
+    collection: ObjectCollection,
+    r: float,
+    k: int,
+    label_store: Optional[LabelStore],
+    backend: str,
+) -> MIOResult:
+    if name == "nl":
+        algorithm = NestedLoopAlgorithm(collection)
+        return algorithm.query(r) if k == 1 else algorithm.query_topk(r, k)
+    if name == "nl-kdtree":
+        return KDTreeNestedLoop(collection).query(r)
+    if name == "nl-rtree":
+        return RTreeNestedLoop(collection).query(r)
+    if name == "sg":
+        return SimpleGridAlgorithm(collection).query(r)
+    if name == "bigrid":
+        engine = MIOEngine(collection, backend=backend, label_store=label_store)
+        return engine.query(r) if k == 1 else engine.query_topk(r, k)
+    if name == "bigrid-label":
+        if label_store is None:
+            raise ValueError("bigrid-label requires a label_store with labels present")
+        engine = MIOEngine(collection, backend=backend, label_store=label_store)
+        result = engine.query(r) if k == 1 else engine.query_topk(r, k)
+        if result.algorithm != "bigrid-label":
+            raise RuntimeError(
+                "no labels were available: run the plain bigrid query with the "
+                "same store (and the same ceil(r)) first"
+            )
+        return result
+    if name == "theoretical":
+        algorithm = TheoreticalAlgorithm(collection)
+        algorithm.preprocess()
+        return algorithm.query(r)
+    raise ValueError(f"unknown algorithm {name!r} (choose from: {', '.join(ALGORITHMS)})")

@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark suite prints each reproduced table/figure as an ascii table
+whose rows match what the paper plots (series of run times over ``r``,
+memory over sampling rate, per-phase breakdowns, speedup ratios), so the
+shapes can be read directly from the pytest output and are archived in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render rows as a fixed-width ascii table."""
+    columns = [[str(header)] + [_fmt(row[index]) for row in rows] for index, header in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rows:
+        lines.append(" | ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render one figure panel: one row per x value, one column per series."""
+    headers = [x_name, *series.keys()]
+    rows: List[List[object]] = []
+    for index, x_value in enumerate(x_values):
+        row: List[object] = [x_value]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,25 @@
+"""Bitset backends for the BIGrid index.
+
+The paper stores one compressed bitset per grid cell (EWAH [22]) and notes
+that BIGrid is orthogonal to the concrete compressed-bitset implementation
+(footnote 3).  This package mirrors that: :class:`EWAHBitset` is a faithful
+64-bit word-aligned hybrid bitmap, :class:`PlainBitset` is the uncompressed
+baseline used by the compression ablation (footnote 4),
+:class:`RoaringBitset` is the chunked-container alternative, and
+:func:`bitset_class` selects a backend by name.
+"""
+
+from repro.bitset.base import Bitset
+from repro.bitset.ewah import EWAHBitset
+from repro.bitset.factory import available_backends, bitset_class
+from repro.bitset.plain import PlainBitset
+from repro.bitset.roaring import RoaringBitset
+
+__all__ = [
+    "Bitset",
+    "EWAHBitset",
+    "PlainBitset",
+    "RoaringBitset",
+    "available_backends",
+    "bitset_class",
+]

@@ -1,0 +1,139 @@
+"""Common bitset interface.
+
+Every backend represents a (conceptually unbounded) sequence of bits indexed
+from 0, where bit ``i`` corresponds to object ``o_i`` of the collection.  The
+operations below are exactly those the BIGrid algorithms need:
+
+* ``set`` while building grid cells (Algorithm 3),
+* ``|`` (bitwise OR) for lower/upper bounding (Algorithms 4 and 5),
+* ``andnot`` (set difference) and ``cardinality`` for verification
+  (Algorithm 6, where ``b <- b_adj(c) - b(o_i)`` and ``|b|`` drive pruning),
+* ``iter_set_bits`` to enumerate candidate objects,
+* ``size_in_bytes`` for the memory accounting reported in Figs. 5(f)-(j).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+
+class Bitset(ABC):
+    """Abstract bit vector keyed by object index."""
+
+    __slots__ = ()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, indices: Iterable[int]) -> "Bitset":
+        """Build a bitset with the given bit positions set."""
+        bitset = cls()
+        for index in sorted(set(indices)):
+            bitset.set(index)
+        return bitset
+
+    @classmethod
+    @abstractmethod
+    def from_int(cls, value: int) -> "Bitset":
+        """Build a bitset whose bit ``i`` is ``(value >> i) & 1``."""
+
+    # ------------------------------------------------------------------
+    # Mutation and inspection
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def set(self, index: int) -> None:
+        """Set bit ``index`` to 1 (idempotent)."""
+
+    @abstractmethod
+    def get(self, index: int) -> bool:
+        """Return whether bit ``index`` is 1."""
+
+    @abstractmethod
+    def cardinality(self) -> int:
+        """Return the number of set bits (``|b|`` in the paper)."""
+
+    @abstractmethod
+    def to_int(self) -> int:
+        """Return the bit pattern as an arbitrary-precision integer."""
+
+    @abstractmethod
+    def iter_set_bits(self) -> Iterator[int]:
+        """Yield set bit positions in increasing order."""
+
+    @abstractmethod
+    def size_in_bytes(self) -> int:
+        """Return the storage footprint of the encoded form."""
+
+    # ------------------------------------------------------------------
+    # Binary operations (pure: return a new bitset of the same backend)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def or_(self, other: "Bitset") -> "Bitset":
+        """Return ``self | other``."""
+
+    @abstractmethod
+    def and_(self, other: "Bitset") -> "Bitset":
+        """Return ``self & other``."""
+
+    @abstractmethod
+    def andnot(self, other: "Bitset") -> "Bitset":
+        """Return ``self & ~other`` (set difference)."""
+
+    @abstractmethod
+    def xor(self, other: "Bitset") -> "Bitset":
+        """Return ``self ^ other``."""
+
+    @abstractmethod
+    def copy(self) -> "Bitset":
+        """Return an independent copy."""
+
+    # ------------------------------------------------------------------
+    # Convenience / operator sugar
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Return whether no bit is set."""
+        return self.cardinality() == 0
+
+    def __or__(self, other: "Bitset") -> "Bitset":
+        return self.or_(other)
+
+    def __and__(self, other: "Bitset") -> "Bitset":
+        return self.and_(other)
+
+    def __sub__(self, other: "Bitset") -> "Bitset":
+        return self.andnot(other)
+
+    def __xor__(self, other: "Bitset") -> "Bitset":
+        return self.xor(other)
+
+    def __contains__(self, index: int) -> bool:
+        return self.get(index)
+
+    def __len__(self) -> int:
+        return self.cardinality()
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __iter__(self) -> Iterator[int]:
+        return self.iter_set_bits()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitset):
+            return NotImplemented
+        return self.to_int() == other.to_int()
+
+    def __hash__(self) -> int:
+        return hash(self.to_int())
+
+    def __repr__(self) -> str:
+        bits = list(self.iter_set_bits())
+        preview = ", ".join(str(b) for b in bits[:8])
+        suffix = ", ..." if len(bits) > 8 else ""
+        return f"{type(self).__name__}({{{preview}{suffix}}})"

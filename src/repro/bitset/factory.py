@@ -1,0 +1,40 @@
+"""Backend selection for bitsets.
+
+BIGrid is "orthogonal to any compressed bitset" (paper, footnote 3); the
+engine and indexes therefore take a backend name and resolve the concrete
+class here.  ``"ewah"`` is the paper's choice and the default; ``"plain"``
+is the uncompressed ablation baseline; ``"roaring"`` is the chunked
+container alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.bitset.base import Bitset
+from repro.bitset.ewah import EWAHBitset
+from repro.bitset.plain import PlainBitset
+from repro.bitset.roaring import RoaringBitset
+
+_BACKENDS: Dict[str, Type[Bitset]] = {
+    "ewah": EWAHBitset,
+    "plain": PlainBitset,
+    "roaring": RoaringBitset,
+}
+
+
+def available_backends() -> tuple:
+    """Names accepted by :func:`bitset_class`."""
+    return tuple(sorted(_BACKENDS))
+
+
+def bitset_class(name: str) -> Type[Bitset]:
+    """Resolve a backend name to its bitset class.
+
+    Raises ``ValueError`` for unknown names, listing the valid options.
+    """
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        options = ", ".join(available_backends())
+        raise ValueError(f"unknown bitset backend {name!r} (choose from: {options})") from None

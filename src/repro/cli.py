@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``   build a named synthetic dataset and save it as ``.npz``
+``stats``      print Table-I style statistics for a dataset file
+``query``      run an MIO / top-k / temporal query over a dataset file
+``compare``    run all algorithms on one query and print a comparison
+
+Example session::
+
+    python -m repro generate bird-2 --scale 0.5 -o birds.npz
+    python -m repro stats birds.npz
+    python -m repro query birds.npz -r 4 --topk 5
+    python -m repro compare birds.npz -r 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import run_algorithm
+from repro.bench.reporting import format_table
+from repro.core.engine import MIOEngine
+from repro.core.temporal import TemporalMIOEngine
+from repro.datasets import (
+    DATASET_NAMES,
+    describe,
+    load_collection,
+    load_dataset,
+    sample_collection,
+    save_collection,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MIO queries over spatial object databases (BIGrid, ICDE 2019)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="build a synthetic dataset")
+    generate.add_argument("dataset", choices=DATASET_NAMES)
+    generate.add_argument("--scale", type=float, default=1.0, help="object-count multiplier")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("-o", "--output", required=True, help="output .npz path")
+
+    stats = commands.add_parser("stats", help="describe a dataset file")
+    stats.add_argument("path", help=".npz dataset file")
+
+    query = commands.add_parser("query", help="run an MIO query")
+    query.add_argument("path", help=".npz dataset file")
+    query.add_argument("-r", type=float, required=True, help="distance threshold")
+    query.add_argument("--topk", type=int, default=1, help="return the k best objects")
+    query.add_argument("--delta", type=float, default=None,
+                       help="temporal threshold (needs timestamps)")
+    query.add_argument("--backend", default="ewah", choices=("ewah", "plain"))
+    query.add_argument("--sample", type=float, default=1.0,
+                       help="object sampling rate in (0, 1]")
+
+    compare = commands.add_parser("compare", help="run all algorithms on one query")
+    compare.add_argument("path", help=".npz dataset file")
+    compare.add_argument("-r", type=float, required=True)
+    compare.add_argument("--algorithms", nargs="+",
+                         default=["nl", "sg", "bigrid"],
+                         help="subset of: nl nl-kdtree sg bigrid theoretical")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    collection = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    save_collection(args.output, collection)
+    print(f"wrote {collection} to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    collection = load_collection(args.path)
+    info = describe(collection)
+    rows = [[key, value] for key, value in info.items()]
+    rows.append(["timestamps", "yes" if collection.has_timestamps() else "no"])
+    print(format_table(["statistic", "value"], rows, title=args.path))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    collection = load_collection(args.path)
+    if args.sample < 1.0:
+        collection = sample_collection(collection, args.sample)
+    if args.delta is not None:
+        if args.topk != 1:
+            print("error: --topk is not supported together with --delta", file=sys.stderr)
+            return 2
+        result = TemporalMIOEngine(collection).query(args.r, args.delta)
+    else:
+        engine = MIOEngine(collection, backend=args.backend)
+        if args.topk > 1:
+            result = engine.query_topk(args.r, args.topk)
+        else:
+            result = engine.query(args.r)
+    print(f"algorithm : {result.algorithm}")
+    print(f"winner    : o_{result.winner}")
+    print(f"score     : {result.score} of {collection.n - 1} objects")
+    if result.topk:
+        for rank, (oid, score) in enumerate(result.topk, start=1):
+            print(f"  #{rank}: o_{oid} (tau = {score})")
+    print(f"time      : {result.total_time:.4f} s")
+    for phase, seconds in result.phases.items():
+        print(f"  {phase:<16} {seconds:.4f} s")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    collection = load_collection(args.path)
+    rows = []
+    for name in args.algorithms:
+        record = run_algorithm(name, collection, args.r)
+        rows.append(
+            [name, f"o_{record.winner}", record.score,
+             round(record.seconds, 4), round(record.memory_kib, 1)]
+        )
+    print(
+        format_table(
+            ["algorithm", "winner", "score", "time [s]", "index [KiB]"],
+            rows,
+            title=f"{args.path} at r={args.r}",
+        )
+    )
+    scores = {row[2] for row in rows}
+    if len(scores) != 1:
+        print("error: algorithms disagree on the max score!", file=sys.stderr)
+        return 1
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "query": _cmd_query,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Core MIO query processing: the paper's primary contribution.
+
+The submodules follow the paper's structure:
+
+* :mod:`repro.core.objects`      -- objects as point sets (Section II-A)
+* :mod:`repro.core.lower_bound`  -- Algorithm 4 (Lemma 1)
+* :mod:`repro.core.upper_bound`  -- Algorithm 5 (Lemma 2, Theorem 2)
+* :mod:`repro.core.verification` -- Algorithm 6 (Corollary 1)
+* :mod:`repro.core.engine`       -- Algorithm 2 framework + top-k variant
+* :mod:`repro.core.labels`       -- Definition 4 and Section III-D reuse
+* :mod:`repro.core.temporal`     -- Appendix B temporal extension
+"""
+
+from repro.core.engine import MIOEngine
+from repro.core.labels import LabelStore, PointLabels
+from repro.core.objects import ObjectCollection, SpatialObject
+from repro.core.query import MIOResult, PhaseStats
+from repro.core.temporal import TemporalMIOEngine
+
+__all__ = [
+    "LabelStore",
+    "MIOEngine",
+    "MIOResult",
+    "ObjectCollection",
+    "PhaseStats",
+    "PointLabels",
+    "SpatialObject",
+    "TemporalMIOEngine",
+]

@@ -1,0 +1,227 @@
+"""The MIO query engine: Algorithm 2's filter-and-verification framework.
+
+One :class:`MIOEngine` wraps a static, memory-resident collection.  Each
+query builds a BIGrid online for its threshold ``r`` (Section III-A shows
+offline building does not pay off), lower-bounds every object, upper-bounds
+and prunes, then verifies best-first:
+
+    GRID-MAPPING -> LOWER-BOUNDING -> UPPER-BOUNDING -> VERIFICATION
+
+When the engine owns a :class:`~repro.core.labels.LabelStore`, the first
+query for each ``ceil(r)`` additionally produces point labels, and later
+queries with the same ceiling run the WITH-LABEL variants of every phase
+(Section III-D): labeled-useless points are never mapped, upper-bounding
+skips ``label != 11*`` points, and verification seeds its bitset with the
+lower-bounding union and skips ``label != 1*1`` points.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import List, Optional
+
+from repro.core.labels import LabelStore, PointLabels, labels_match_collection
+from repro.core.lower_bound import compute_lower_bounds
+from repro.core.objects import ObjectCollection
+from repro.core.query import MIOResult, PhaseStats
+from repro.core.upper_bound import compute_upper_bounds
+from repro.core.verification import verify_candidates
+from repro.grid.bigrid import BIGrid
+
+
+class MIOEngine:
+    """Processes MIO (and top-k MIO) queries over one collection.
+
+    Parameters
+    ----------
+    collection:
+        The static object collection ``O``.
+    backend:
+        Bitset backend name (``"ewah"`` as in the paper, or ``"plain"``).
+    label_store:
+        Optional store enabling the Section III-D reuse of previous query
+        results.  Without one, every query runs the label-free pipeline.
+    label_reuse:
+        ``"safe"`` (default) applies Labeling-3 only when the stored labels
+        were produced by exactly the same ``r``; ``"paper"`` applies it for
+        any ``r'`` with the same ceiling, as the paper describes (see
+        DESIGN.md for why that can in principle under-count).
+    """
+
+    def __init__(
+        self,
+        collection: ObjectCollection,
+        backend: str = "ewah",
+        label_store: Optional[LabelStore] = None,
+        label_reuse: str = "safe",
+    ) -> None:
+        if label_reuse not in ("safe", "paper"):
+            raise ValueError('label_reuse must be "safe" or "paper"')
+        self.collection = collection
+        self.backend = backend
+        self.label_store = label_store
+        self.label_reuse = label_reuse
+        #: The BIGrid of the most recent query (exposed for inspection).
+        self.last_bigrid: Optional[BIGrid] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def query(self, r: float) -> MIOResult:
+        """Answer an MIO query: the most interactive object under ``r``."""
+        return self._run(r, k=1, want_ranking=False)
+
+    def query_topk(self, r: float, k: int) -> MIOResult:
+        """Answer the top-k variant: the k most interactive objects."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        return self._run(r, k=k, want_ranking=True)
+
+    def query_batch(self, r_values) -> List[MIOResult]:
+        """Answer a batch of MIO queries, maximizing label reuse.
+
+        This is the workload Section III-D targets -- analysts sweeping
+        fine-grained thresholds.  Queries are executed grouped by
+        ``ceil(r)``, largest ``r`` first within each group, so the first
+        (most general) query of each group produces the labels and every
+        other query in the group runs the WITH-LABEL pipeline.  Results
+        are returned in the caller's order.  If the engine has no label
+        store, one is created for the duration of the batch.
+        """
+        r_values = list(r_values)
+        if not r_values:
+            return []
+        owned_store = self.label_store is None
+        if owned_store:
+            self.label_store = LabelStore()
+        try:
+            order = sorted(
+                range(len(r_values)),
+                key=lambda index: (math.ceil(r_values[index]), -r_values[index]),
+            )
+            results: List[Optional[MIOResult]] = [None] * len(r_values)
+            for index in order:
+                results[index] = self.query(r_values[index])
+            return results
+        finally:
+            if owned_store:
+                self.label_store = None
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+
+    def _run(self, r: float, k: int, want_ranking: bool) -> MIOResult:
+        if r <= 0:
+            raise ValueError("the distance threshold r must be positive")
+        stats = PhaseStats()
+        ceil_r = math.ceil(r)
+
+        labels = self._load_labels(ceil_r, stats)
+        labeling = self.label_store is not None and labels is None
+        labeler = PointLabels.for_collection(self.collection, r) if labeling else None
+
+        # GRID-MAPPING (Algorithm 3), skipping label(p) = 0** points.
+        started = time.perf_counter()
+        bigrid = BIGrid.build(
+            self.collection,
+            r,
+            backend=self.backend,
+            point_filter=labels.grid_mask if labels is not None else None,
+        )
+        stats.add_time("grid_mapping", time.perf_counter() - started)
+        stats.set_count("small_cells", len(bigrid.small_grid))
+        stats.set_count("large_cells", len(bigrid.large_grid))
+        stats.set_count("mapped_points", bigrid.mapped_points)
+        self.last_bigrid = bigrid
+
+        # LOWER-BOUNDING (Algorithm 4).  The WITH-LABEL variant keeps the
+        # union bitsets to seed verification.
+        started = time.perf_counter()
+        lower = compute_lower_bounds(bigrid, keep_bitsets=labels is not None, stats=stats)
+        stats.add_time("lower_bounding", time.perf_counter() - started)
+        threshold = lower.tau_max if k == 1 else _kth_largest(lower.values, k)
+
+        # UPPER-BOUNDING + pruning (Algorithm 5).
+        started = time.perf_counter()
+        upper = compute_upper_bounds(
+            bigrid,
+            threshold,
+            upper_masks=labels.upper_mask if labels is not None else None,
+            labeler=labeler,
+            stats=stats,
+        )
+        stats.add_time("upper_bounding", time.perf_counter() - started)
+
+        # VERIFICATION (Algorithm 6 / top-k variant).
+        started = time.perf_counter()
+        verification = verify_candidates(
+            bigrid,
+            upper.candidates,
+            r,
+            k=k,
+            initial_bitsets=(
+                (lambda oid: lower.bitsets[oid]) if lower.bitsets is not None else None
+            ),
+            verify_masks=self._verify_masks(labels, r),
+            labeler=labeler,
+            stats=stats,
+        )
+        stats.add_time("verification", time.perf_counter() - started)
+
+        if labeler is not None:
+            started = time.perf_counter()
+            self.label_store.put(ceil_r, labeler)
+            stats.add_time("label_output", time.perf_counter() - started)
+            for kind, count in labeler.count_cleared().items():
+                stats.set_count(f"labeled_{kind}", count)
+
+        ranking = verification.ranking
+        if not ranking:
+            raise AssertionError("verification produced no answer for a non-empty collection")
+        winner, score = ranking[0]
+        return MIOResult(
+            algorithm="bigrid-label" if labels is not None else "bigrid",
+            r=r,
+            winner=winner,
+            score=score,
+            topk=ranking if want_ranking else None,
+            phases=stats.phases,
+            counters=stats.counters,
+            memory_bytes=bigrid.memory_bytes(),
+        )
+
+    # ------------------------------------------------------------------
+    # Label plumbing
+    # ------------------------------------------------------------------
+
+    def _load_labels(self, ceil_r: int, stats: PhaseStats) -> Optional[PointLabels]:
+        if self.label_store is None:
+            return None
+        started = time.perf_counter()
+        labels = self.label_store.get(ceil_r)
+        if labels is not None and not labels_match_collection(labels, self.collection):
+            # Stored labels describe a different collection (stale store);
+            # ignore them and relabel rather than risk a wrong answer.
+            labels = None
+        if labels is not None:
+            stats.add_time("label_input", time.perf_counter() - started)
+        return labels
+
+    def _verify_masks(self, labels: Optional[PointLabels], r: float):
+        """Labeling-3 mask provider, honoring the reuse policy."""
+        if labels is None:
+            return None
+        if self.label_reuse == "safe" and labels.r != r:
+            # Labeling-1 still filters grid mapping; Labeling-3 is withheld.
+            return None
+        return labels.verify_mask
+
+
+def _kth_largest(values: List[int], k: int) -> int:
+    """The k-th highest value (0 when fewer than k values exist)."""
+    if k > len(values):
+        return 0
+    return sorted(values, reverse=True)[k - 1]

@@ -1,0 +1,106 @@
+"""Distance primitives shared by the index, the baselines, and the tests.
+
+All algorithms in the paper reduce to one predicate: do two point sets have
+at least one pair within Euclidean distance ``r``?  The helpers here answer
+it with vectorized numpy kernels and early exit, which is the Python
+equivalent of the paper's scalar inner loops with ``break`` (Algorithm 1,
+lines 7-12).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Rows of the first operand processed per vectorized block.  Small enough to
+#: keep early exit effective, large enough to amortize numpy call overhead.
+_BLOCK_ROWS = 64
+
+
+def euclidean(p: np.ndarray, q: np.ndarray) -> float:
+    """Euclidean distance between two points."""
+    diff = np.asarray(p, dtype=np.float64) - np.asarray(q, dtype=np.float64)
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def squared_distances_to(point: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Squared distances from one point to each row of ``points``."""
+    diff = points - point
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def any_within(point: np.ndarray, points: np.ndarray, r: float) -> bool:
+    """Whether any row of ``points`` lies within distance ``r`` of ``point``."""
+    if len(points) == 0:
+        return False
+    return bool(np.min(squared_distances_to(point, points)) <= r * r)
+
+
+def count_within(point: np.ndarray, points: np.ndarray, r: float) -> int:
+    """Number of rows of ``points`` within distance ``r`` of ``point``."""
+    if len(points) == 0:
+        return 0
+    return int(np.count_nonzero(squared_distances_to(point, points) <= r * r))
+
+
+def point_sets_interact(points_a: np.ndarray, points_b: np.ndarray, r: float) -> bool:
+    """Whether the two point sets have a pair within distance ``r``.
+
+    This is the interaction predicate of Definition 1.  Distances are
+    evaluated block-by-block so a hit in an early block skips the rest,
+    mirroring the early ``break`` of the nested-loop algorithm.
+    """
+    if len(points_a) == 0 or len(points_b) == 0:
+        return False
+    if len(points_a) > len(points_b):
+        points_a, points_b = points_b, points_a
+    r_squared = r * r
+    b_norms = np.einsum("ij,ij->i", points_b, points_b)
+    for start in range(0, len(points_a), _BLOCK_ROWS):
+        block = points_a[start:start + _BLOCK_ROWS]
+        a_norms = np.einsum("ij,ij->i", block, block)
+        # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b, computed for the block.
+        squared = a_norms[:, None] + b_norms[None, :] - 2.0 * (block @ points_b.T)
+        if np.min(squared) <= r_squared + 1e-12:
+            return True
+    return False
+
+
+def min_pair_distance(points_a: np.ndarray, points_b: np.ndarray) -> float:
+    """Distance of the closest pair across the two point sets."""
+    if len(points_a) == 0 or len(points_b) == 0:
+        return float("inf")
+    if len(points_a) > len(points_b):
+        points_a, points_b = points_b, points_a
+    b_norms = np.einsum("ij,ij->i", points_b, points_b)
+    best = np.inf
+    for start in range(0, len(points_a), _BLOCK_ROWS):
+        block = points_a[start:start + _BLOCK_ROWS]
+        a_norms = np.einsum("ij,ij->i", block, block)
+        squared = a_norms[:, None] + b_norms[None, :] - 2.0 * (block @ points_b.T)
+        block_min = float(np.min(squared))
+        if block_min < best:
+            best = block_min
+    return float(np.sqrt(max(best, 0.0)))
+
+
+def bounding_box(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(min corner, max corner) of a point set."""
+    if len(points) == 0:
+        raise ValueError("cannot bound an empty point set")
+    return points.min(axis=0), points.max(axis=0)
+
+
+def boxes_within(
+    lo_a: np.ndarray,
+    hi_a: np.ndarray,
+    lo_b: np.ndarray,
+    hi_b: np.ndarray,
+    r: Optional[float] = None,
+) -> bool:
+    """Whether two axis-aligned boxes are within gap ``r`` (overlap if None)."""
+    gap = np.maximum(0.0, np.maximum(lo_a - hi_b, lo_b - hi_a))
+    if r is None:
+        return bool(np.all(gap <= 0.0))
+    return bool(np.dot(gap, gap) <= r * r)

@@ -1,0 +1,183 @@
+"""Point labels (Definition 4) and the persistent label store (Section III-D).
+
+Each point carries three bits, initialized to ``111``:
+
+* bit 2 (``GRID``, "Labeling-1"):  cleared when the point's large-grid cell
+  has ``|b_adj| == 1`` -- no other object anywhere near, so the point can be
+  skipped even during grid mapping (Lemma 3).
+* bit 1 (``UPPER``, "Labeling-2"): cleared when OR-ing the point's
+  ``b_adj`` into ``b(o_i)`` during upper-bounding changed nothing.
+* bit 0 (``VERIFY``, "Labeling-3"): cleared when, during verification,
+  ``b_adj(c_K) - b(o_i)`` was already empty at this point's turn.
+
+Labels produced by a query with threshold ``r`` apply to any future query
+``r'`` with ``ceil(r') == ceil(r)`` because the large grid is identical for
+all such thresholds.  Our correctness analysis (DESIGN.md §3) shows
+Labeling-1/2 reuse is exact for every such ``r'``, and Labeling-3 reuse is
+exact when ``r' == r`` but may under-count for ``r' != r``; the store
+therefore records the generating ``r`` and the engine's default
+``label_reuse="safe"`` mode applies Labeling-3 only on an exact match
+(``label_reuse="paper"`` reproduces the paper's behaviour verbatim).
+
+The paper keeps labels in external memory ("labels should be resident in
+external memory"); :class:`LabelStore` persists them as one ``.npz`` file
+per ``ceil(r)`` and the engine reports the load time as the "Label-Input"
+row of Table II.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.objects import ObjectCollection
+
+#: Bit masks within a label byte.
+GRID_BIT = 0b100
+UPPER_BIT = 0b010
+VERIFY_BIT = 0b001
+ALL_BITS = GRID_BIT | UPPER_BIT | VERIFY_BIT
+
+
+class PointLabels:
+    """Per-point three-bit labels for one ``ceil(r)`` bucket."""
+
+    __slots__ = ("r", "arrays")
+
+    def __init__(self, point_counts: Sequence[int], r: float) -> None:
+        self.r = float(r)
+        self.arrays = [np.full(count, ALL_BITS, dtype=np.uint8) for count in point_counts]
+
+    @classmethod
+    def for_collection(cls, collection: ObjectCollection, r: float) -> "PointLabels":
+        return cls([obj.num_points for obj in collection], r)
+
+    # ------------------------------------------------------------------
+    # Labeling (clearing bits during a labeling run)
+    # ------------------------------------------------------------------
+
+    def mark_grid_useless(self, oid: int, point_indices: Iterable[int]) -> None:
+        """Labeling-1: ``label(p) = 0**``."""
+        self.arrays[oid][list(point_indices)] &= ~GRID_BIT & 0xFF
+
+    def mark_upper_skippable(self, oid: int, point_indices: Iterable[int]) -> None:
+        """Labeling-2: ``label(p) = 10*`` (second bit cleared)."""
+        self.arrays[oid][list(point_indices)] &= ~UPPER_BIT & 0xFF
+
+    def mark_verify_skippable(self, oid: int, point_indices: Iterable[int]) -> None:
+        """Labeling-3: ``label(p) = 1*0`` (third bit cleared)."""
+        self.arrays[oid][list(point_indices)] &= ~VERIFY_BIT & 0xFF
+
+    # ------------------------------------------------------------------
+    # Masks (which points to process during a with-label run)
+    # ------------------------------------------------------------------
+
+    def grid_mask(self, oid: int) -> np.ndarray:
+        """Points to map into the BIGrid: first bit set."""
+        return (self.arrays[oid] & GRID_BIT) != 0
+
+    def upper_mask(self, oid: int) -> np.ndarray:
+        """Points to process in upper-bounding: ``label(p) = 11*``."""
+        wanted = GRID_BIT | UPPER_BIT
+        return (self.arrays[oid] & wanted) == wanted
+
+    def verify_mask(self, oid: int) -> np.ndarray:
+        """Points to process in verification: ``label(p) = 1*1``."""
+        wanted = GRID_BIT | VERIFY_BIT
+        return (self.arrays[oid] & wanted) == wanted
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def count_cleared(self) -> Dict[str, int]:
+        """How many points each labeling pruned (reported by experiments)."""
+        grid = upper = verify = 0
+        for labels in self.arrays:
+            grid += int(np.count_nonzero((labels & GRID_BIT) == 0))
+            upper += int(np.count_nonzero((labels & UPPER_BIT) == 0))
+            verify += int(np.count_nonzero((labels & VERIFY_BIT) == 0))
+        return {"grid": grid, "upper": upper, "verify": verify}
+
+    def total_points(self) -> int:
+        return sum(len(labels) for labels in self.arrays)
+
+    def size_in_bytes(self) -> int:
+        """One byte per point: the O(nm) label space cost."""
+        return self.total_points()
+
+
+def labels_match_collection(labels: "PointLabels", collection: ObjectCollection) -> bool:
+    """Whether label arrays align with the collection's objects and points.
+
+    Labels are positional, so a store from a different (or mutated)
+    collection must never be consumed; both engines check this on load.
+    """
+    if len(labels.arrays) != collection.n:
+        return False
+    return all(
+        len(array) == obj.num_points
+        for array, obj in zip(labels.arrays, collection)
+    )
+
+
+class LabelStore:
+    """Persistent label storage keyed by ``ceil(r)``.
+
+    ``directory=None`` keeps labels in memory only, which is convenient for
+    tests; with a directory, labels survive process restarts and loading
+    them models the O(nm / B) label I/O of the paper.
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._cache: Dict[int, PointLabels] = {}
+
+    def _path(self, ceil_r: int) -> Path:
+        assert self.directory is not None
+        return self.directory / f"labels_ceil_{ceil_r}.npz"
+
+    def has(self, ceil_r: int) -> bool:
+        """Whether labels exist for this ``ceil(r)`` (the O(1) hash check)."""
+        if ceil_r in self._cache:
+            return True
+        return self.directory is not None and self._path(ceil_r).exists()
+
+    def get(self, ceil_r: int) -> Optional[PointLabels]:
+        """Load labels for ``ceil(r)``, or None if no query produced them yet."""
+        cached = self._cache.get(ceil_r)
+        if cached is not None:
+            return cached
+        if self.directory is None:
+            return None
+        path = self._path(ceil_r)
+        if not path.exists():
+            return None
+        with np.load(path) as archive:
+            count = int(archive["count"])
+            labels = PointLabels.__new__(PointLabels)
+            labels.r = float(archive["r"])
+            labels.arrays = [archive[f"o{i}"] for i in range(count)]
+        self._cache[ceil_r] = labels
+        return labels
+
+    def put(self, ceil_r: int, labels: PointLabels) -> None:
+        """Persist labels produced by a labeling run (post-processing)."""
+        self._cache[ceil_r] = labels
+        if self.directory is None:
+            return
+        payload = {f"o{i}": arr for i, arr in enumerate(labels.arrays)}
+        payload["r"] = np.float64(labels.r)
+        payload["count"] = np.int64(len(labels.arrays))
+        np.savez(self._path(ceil_r), **payload)
+
+    def clear(self) -> None:
+        """Drop all stored labels (memory and disk)."""
+        self._cache.clear()
+        if self.directory is not None:
+            for path in self.directory.glob("labels_ceil_*.npz"):
+                path.unlink()

@@ -1,0 +1,276 @@
+"""Temporal MIO queries (Appendix B).
+
+Objects carry a timestamp per point, and two objects interact iff they have
+a pair of points with ``dist(p, p') <= r`` **and** ``|t - t'| <= delta``.
+Following the appendix, the time domain is decomposed into disjoint
+sub-domains of width ``delta`` and a BIGrid is built per sub-domain:
+
+* certain pairs (lower bound) come from points sharing a small cell in the
+  *same* sub-domain (same bin implies ``|t - t'| < delta``);
+* possible pairs (upper bound / verification) come from the cell and its
+  adjacent cells in the *same or adjacent* sub-domains.
+
+We realize this with one grid whose keys are ``(bin, spatial key...)``:
+treating the bin as an extra grid axis makes "adjacent sub-domain, adjacent
+cell" exactly the standard adjacency of the combined key, so the large-grid
+machinery applies unchanged.  ``delta = 0`` is the appendix's special case:
+one sub-domain per distinct timestamp (bins are then only an upper-bound
+relaxation across ids; verification checks ``|t - t'| <= delta`` exactly,
+so the answer stays exact).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.bitset.factory import bitset_class
+from repro.core.objects import ObjectCollection
+from repro.core.verification import _bits_of
+from repro.core.query import MIOResult, PhaseStats
+from repro.grid.keys import Key, compute_keys, large_cell_width, small_cell_width
+from repro.grid.large_grid import LargeGrid
+from repro.grid.small_grid import SmallGrid
+
+
+class TemporalMIOEngine:
+    """MIO queries with a temporal threshold ``delta`` (Appendix B)."""
+
+    def __init__(self, collection: ObjectCollection, backend: str = "ewah") -> None:
+        if not collection.has_timestamps():
+            raise ValueError("temporal MIO queries require per-point timestamps")
+        self.collection = collection
+        self.backend = backend
+
+    def query(self, r: float, delta: float) -> MIOResult:
+        """The most interactive object under both ``r`` and ``delta``."""
+        if r <= 0:
+            raise ValueError("the distance threshold r must be positive")
+        if delta < 0:
+            raise ValueError("the temporal threshold delta must be non-negative")
+        stats = PhaseStats()
+
+        started = time.perf_counter()
+        index = _TemporalBIGrid.build(self.collection, r, delta, self.backend)
+        stats.add_time("grid_mapping", time.perf_counter() - started)
+        stats.set_count("small_cells", len(index.small_grid))
+        stats.set_count("large_cells", len(index.large_grid))
+        stats.set_count("time_bins", index.bin_count)
+
+        started = time.perf_counter()
+        lower_values, tau_max = index.lower_bounds()
+        stats.add_time("lower_bounding", time.perf_counter() - started)
+
+        started = time.perf_counter()
+        candidates = index.upper_bound_candidates(tau_max)
+        stats.add_time("upper_bounding", time.perf_counter() - started)
+        stats.set_count("candidates", len(candidates))
+
+        started = time.perf_counter()
+        winner, score, verified = index.verify(candidates, r, delta)
+        stats.add_time("verification", time.perf_counter() - started)
+        stats.set_count("verified_objects", verified)
+
+        return MIOResult(
+            algorithm="bigrid-temporal",
+            r=r,
+            winner=winner,
+            score=score,
+            phases=stats.phases,
+            counters=stats.counters,
+            memory_bytes=index.memory_bytes(),
+        )
+
+
+class _TemporalBIGrid:
+    """Per-sub-domain grids fused into one structure via (bin, key) keys."""
+
+    def __init__(
+        self,
+        collection: ObjectCollection,
+        small_grid: SmallGrid,
+        large_grid: LargeGrid,
+        key_lists: List[Set[Key]],
+        object_groups: List[Dict[Key, List[int]]],
+        bin_count: int,
+    ) -> None:
+        self.collection = collection
+        self.small_grid = small_grid
+        self.large_grid = large_grid
+        self.key_lists = key_lists
+        self.object_groups = object_groups
+        self.bin_count = bin_count
+
+    @classmethod
+    def build(
+        cls,
+        collection: ObjectCollection,
+        r: float,
+        delta: float,
+        backend: str,
+    ) -> "_TemporalBIGrid":
+        bitset_cls = bitset_class(backend)
+        dimension = collection.dimension
+        s_width = small_cell_width(r, dimension)
+        l_width = large_cell_width(r)
+        # The grids key on (bin, spatial...) tuples; dimension+1 only affects
+        # the per-entry memory estimate.
+        small_grid = SmallGrid(s_width, dimension + 1, bitset_cls)
+        large_grid = LargeGrid(l_width, dimension + 1, bitset_cls)
+        key_lists: List[Set[Key]] = [set() for _ in range(collection.n)]
+        object_groups: List[Dict[Key, List[int]]] = [{} for _ in range(collection.n)]
+
+        bin_of = _binning(collection, delta)
+        bin_count = 0
+
+        for obj in collection:
+            oid = obj.oid
+            bins = bin_of(obj.timestamps)
+            bin_count = max(bin_count, int(max(bins)) + 1 if len(bins) else 0)
+            small_keys = compute_keys(obj.points, s_width)
+            large_keys = compute_keys(obj.points, l_width)
+            groups = object_groups[oid]
+            for point_index in range(obj.num_points):
+                bin_id = int(bins[point_index])
+                small_key = (bin_id,) + small_keys[point_index]
+                reached, first_oid = small_grid.add_point(oid, small_key)
+                if reached == 2:
+                    key_lists[first_oid].add(small_key)
+                    key_lists[oid].add(small_key)
+                elif reached is not None and reached > 2:
+                    key_lists[oid].add(small_key)
+                large_key = (bin_id,) + large_keys[point_index]
+                large_grid.add_point(oid, large_key, point_index)
+                groups.setdefault(large_key, []).append(point_index)
+
+        return cls(collection, small_grid, large_grid, key_lists, object_groups, bin_count)
+
+    # ------------------------------------------------------------------
+    # Phases (the Appendix B renditions of Algorithms 4-6)
+    # ------------------------------------------------------------------
+
+    def lower_bounds(self) -> Tuple[List[int], int]:
+        values: List[int] = []
+        tau_max = 0
+        for oid in range(self.collection.n):
+            union = 0
+            for key in self.key_lists[oid]:
+                union |= self.small_grid.cells[key].bitset.to_int()
+            cardinality = union.bit_count()
+            lower = cardinality - 1 if cardinality else 0
+            values.append(lower)
+            tau_max = max(tau_max, lower)
+        return values, tau_max
+
+    def upper_bound_candidates(self, tau_max: int) -> List[Tuple[int, int]]:
+        candidates: List[Tuple[int, int]] = []
+        for oid in range(self.collection.n):
+            union = 0
+            for key in self.object_groups[oid]:
+                union |= self.large_grid.adjacent_union_int(key)
+            cardinality = union.bit_count()
+            upper = cardinality - 1 if cardinality else 0
+            if upper >= tau_max:
+                candidates.append((upper, oid))
+        candidates.sort(key=lambda entry: (-entry[0], entry[1]))
+        return candidates
+
+    def verify(
+        self,
+        candidates: List[Tuple[int, int]],
+        r: float,
+        delta: float,
+    ) -> Tuple[int, int, int]:
+        collection = self.collection
+        large_grid = self.large_grid
+        r_squared = r * r
+        best_oid = -1
+        best_score = -1
+        verified = 0
+
+        for upper, oid in candidates:
+            if upper <= best_score:
+                break
+            obj = collection[oid]
+            confirmed = 1 << oid
+            for key, point_indices in self.object_groups[oid].items():
+                for point_index in point_indices:
+                    pending = large_grid.adjacent_union_int(key) & ~confirmed
+                    if not pending:
+                        continue
+                    remaining = _bits_of(pending)
+                    point = obj.points[point_index]
+                    timestamp = obj.timestamps[point_index]
+                    for cell in large_grid.cells[key].neighbor_cells:
+                        for candidate_oid in remaining.intersection(cell.postings):
+                            posting = cell.postings[candidate_oid]
+                            other = collection[candidate_oid]
+                            other_points = other.points[posting]
+                            other_times = other.timestamps[posting]
+                            diff = other_points - point
+                            close = np.einsum("ij,ij->i", diff, diff) <= r_squared
+                            concurrent = np.abs(other_times - timestamp) <= delta
+                            if np.any(close & concurrent):
+                                confirmed |= 1 << candidate_oid
+                                remaining.discard(candidate_oid)
+                        if not remaining:
+                            break
+            score = confirmed.bit_count() - 1
+            verified += 1
+            if score > best_score:
+                best_score = score
+                best_oid = oid
+
+        if best_oid < 0 and candidates:
+            best_oid, best_score = candidates[0][1], 0
+        return best_oid, best_score, verified
+
+    def memory_bytes(self) -> int:
+        return self.small_grid.memory_bytes() + self.large_grid.memory_bytes()
+
+
+def _binning(collection: ObjectCollection, delta: float):
+    """Return a vectorized timestamps -> bin ids function.
+
+    ``delta > 0``: bin ``floor(t / delta)`` (shifted to start at 0).
+    ``delta = 0``: one bin per distinct timestamp across the collection.
+    """
+    all_times = np.concatenate([obj.timestamps for obj in collection])
+    if delta > 0:
+        # Guard against int64 overflow for very small deltas (bin ids grow
+        # as t / delta): below the safe range, bin in arbitrary-precision
+        # Python ints instead of numpy int64.
+        magnitude = max(abs(float(all_times.min())), abs(float(all_times.max())))
+        if magnitude / delta < 2.0 ** 62:
+            origin = int(np.floor(all_times.min() / delta))
+
+            def bin_of(timestamps: np.ndarray) -> np.ndarray:
+                return np.floor(timestamps / delta).astype(np.int64) - origin
+
+            return bin_of
+
+        # Extreme deltas (denormals) overflow even float division; exact
+        # rational arithmetic keeps the binning correct at any scale.
+        from fractions import Fraction
+
+        delta_fraction = Fraction(delta)
+        origin_big = (Fraction(float(all_times.min())) / delta_fraction).__floor__()
+
+        def bin_of_bigint(timestamps: np.ndarray) -> list:
+            return [
+                (Fraction(float(t)) / delta_fraction).__floor__() - origin_big
+                for t in timestamps
+            ]
+
+        return bin_of_bigint
+
+    distinct = {value: index for index, value in enumerate(sorted(set(all_times.tolist())))}
+
+    def bin_of_exact(timestamps: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (distinct[t] for t in timestamps.tolist()), dtype=np.int64, count=len(timestamps)
+        )
+
+    return bin_of_exact

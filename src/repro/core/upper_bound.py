@@ -1,0 +1,104 @@
+"""Upper-bounding and pruning (Algorithm 5, Lemma 2, Theorem 2).
+
+Any point within ``r`` of ``p`` lies in ``p``'s large-grid cell or one of
+its adjacent cells, so OR-ing the adjacent-union bitsets ``b_adj`` over the
+distinct large cells an object touches upper-bounds its score.  Objects
+whose upper bound falls below the best lower bound cannot be the answer and
+are pruned; survivors form ``O_cand``, sorted by upper bound descending for
+the best-first verification.
+
+Adjacent-union bitsets are computed at most once per cell per query (the
+global key-set memo of Algorithm 5) and memoized on the cell.
+
+This module also performs Labeling-1 and Labeling-2 (Definition 4) when the
+caller passes a :class:`~repro.core.labels.PointLabels` to fill, and honors
+previously produced labels via ``upper_masks`` (the WITH-LABEL variant:
+only points labeled ``11*`` are processed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.labels import PointLabels
+from repro.core.query import PhaseStats
+from repro.grid.bigrid import BIGrid
+
+#: ``(upper_bound, oid)`` of a surviving candidate.
+Candidate = Tuple[int, int]
+
+MaskProvider = Callable[[int], np.ndarray]
+
+
+@dataclass
+class UpperBoundResult:
+    """Sorted candidates plus the raw per-object upper bounds."""
+
+    candidates: List[Candidate]
+    values: List[int]
+
+
+def compute_upper_bounds(
+    bigrid: BIGrid,
+    tau_max_low: int,
+    upper_masks: Optional[MaskProvider] = None,
+    labeler: Optional[PointLabels] = None,
+    stats: Optional[PhaseStats] = None,
+) -> UpperBoundResult:
+    """UPPER-BOUNDING(O, r, tau_max_low): bound, prune, sort."""
+    large_grid = bigrid.large_grid
+    values: List[int] = []
+    candidates: List[Candidate] = []
+    groups_processed = 0
+    adj_before = large_grid.adj_computed
+
+    for oid in range(bigrid.collection.n):
+        # One conversion per object: plain-list indexing beats per-group
+        # numpy fancy indexing for the small groups real data produces.
+        mask = upper_masks(oid).tolist() if upper_masks is not None else None
+        # Accumulate on big ints (C-speed word ops); cells keep the
+        # compressed form for storage.
+        union = 0
+        for key, point_indices in bigrid.object_groups[oid].items():
+            if mask is not None and not _group_selected(mask, point_indices):
+                continue
+            groups_processed += 1
+            cell = large_grid.cells[key]
+            first_union_for_key = cell.adj_int is None
+            adjacent = large_grid.adjacent_union_int(key)
+            if labeler is not None and first_union_for_key and adjacent.bit_count() == 1:
+                # Labeling-1: the whole neighbourhood holds a single object,
+                # so every point mapped into this cell is globally useless.
+                for cell_oid, posting in cell.postings.items():
+                    labeler.mark_grid_useless(cell_oid, posting)
+            merged = union | adjacent
+            changed = merged != union
+            if labeler is not None:
+                # Labeling-2: points whose OR contributed nothing.
+                skippable = point_indices if not changed else point_indices[1:]
+                if skippable:
+                    labeler.mark_upper_skippable(oid, skippable)
+            union = merged
+        cardinality = union.bit_count()
+        upper = cardinality - 1 if cardinality else 0
+        values.append(upper)
+        if upper >= tau_max_low:
+            candidates.append((upper, oid))
+
+    # Best-first order: highest upper bound first, oid as a stable tiebreak.
+    candidates.sort(key=lambda entry: (-entry[0], entry[1]))
+
+    if stats is not None:
+        stats.set_count("upper_groups_processed", groups_processed)
+        stats.set_count("adj_unions_computed", large_grid.adj_computed - adj_before)
+        stats.set_count("candidates", len(candidates))
+        stats.set_count("pruned_objects", bigrid.collection.n - len(candidates))
+    return UpperBoundResult(candidates=candidates, values=values)
+
+
+def _group_selected(mask: List[bool], point_indices: List[int]) -> bool:
+    """Whether any point of the group survives the label filter."""
+    return any(mask[index] for index in point_indices)

@@ -1,0 +1,67 @@
+"""Synthetic dataset generators and dataset utilities.
+
+The paper evaluates on rat neuron morphologies (NeuroMorpho), bird
+trajectories (Movebank) and a brain-network-seeded synthetic set; none of
+those are redistributable here, so each generator below synthesizes the
+closest structural analogue (see DESIGN.md §3 for the substitution
+arguments):
+
+* :func:`make_neurons`        -- 3-D branching arbors with clustered somata
+* :func:`make_trajectories`   -- 2-D leader-follower trajectory segments
+* :func:`make_powerlaw`       -- hub-and-spoke clusters giving a power-law
+  score distribution (the "Syn" analogue)
+
+:mod:`repro.datasets.registry` exposes the five named Table-I analogues at
+benchmark and test scales; :mod:`repro.datasets.swc` and
+:mod:`repro.datasets.segmentation` ingest real NeuroMorpho SWC files and
+Movebank-style track CSVs (with the paper's ~m-point segmentation), so the
+pipeline also runs on the genuine data sources.
+"""
+
+from repro.datasets.io import load_collection, save_collection
+from repro.datasets.neurons import make_neurons
+from repro.datasets.powerlaw import make_powerlaw
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_table,
+    default_r_values,
+    load_dataset,
+)
+from repro.datasets.sampling import sample_collection
+from repro.datasets.segmentation import (
+    read_tracks_csv,
+    segment_trajectories,
+    split_trajectory,
+    write_tracks_csv,
+)
+from repro.datasets.stats import describe, score_distribution_alpha
+from repro.datasets.swc import (
+    export_collection_to_swc,
+    load_neurons_from_swc,
+    read_swc,
+    write_swc,
+)
+from repro.datasets.trajectories import make_trajectories
+
+__all__ = [
+    "DATASET_NAMES",
+    "dataset_table",
+    "default_r_values",
+    "describe",
+    "export_collection_to_swc",
+    "load_collection",
+    "load_dataset",
+    "make_neurons",
+    "make_powerlaw",
+    "load_neurons_from_swc",
+    "make_trajectories",
+    "read_swc",
+    "read_tracks_csv",
+    "sample_collection",
+    "save_collection",
+    "score_distribution_alpha",
+    "segment_trajectories",
+    "split_trajectory",
+    "write_swc",
+    "write_tracks_csv",
+]

@@ -1,0 +1,81 @@
+"""Dataset persistence.
+
+Collections serialize to a single ``.npz``: all coordinates concatenated
+plus per-object offsets (the standard ragged-array layout), with optional
+timestamps.  A CSV exchange format (``oid,x,y[,z][,t]`` rows) is provided
+for interoperability with external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.objects import ObjectCollection
+
+PathLike = Union[str, Path]
+
+
+def save_collection(path: PathLike, collection: ObjectCollection) -> None:
+    """Write a collection to ``path`` (``.npz``)."""
+    points = np.vstack([obj.points for obj in collection])
+    offsets = np.cumsum([0] + [obj.num_points for obj in collection])
+    payload = {"points": points, "offsets": offsets}
+    if collection.has_timestamps():
+        payload["timestamps"] = np.concatenate([obj.timestamps for obj in collection])
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_collection(path: PathLike) -> ObjectCollection:
+    """Read a collection written by :func:`save_collection`."""
+    with np.load(Path(path)) as archive:
+        points = archive["points"]
+        offsets = archive["offsets"]
+        timestamps = archive["timestamps"] if "timestamps" in archive.files else None
+    point_arrays = [points[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)]
+    timestamp_arrays = None
+    if timestamps is not None:
+        timestamp_arrays = [
+            timestamps[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)
+        ]
+    return ObjectCollection.from_point_arrays(point_arrays, timestamp_arrays)
+
+
+def export_csv(path: PathLike, collection: ObjectCollection) -> None:
+    """Write ``oid,x,y[,z][,t]`` rows (header included)."""
+    axes = ["x", "y", "z"][: collection.dimension]
+    header = ["oid", *axes] + (["t"] if collection.has_timestamps() else [])
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for obj in collection:
+            for index in range(obj.num_points):
+                row: List[object] = [obj.oid, *obj.points[index].tolist()]
+                if obj.timestamps is not None:
+                    row.append(obj.timestamps[index])
+                writer.writerow(row)
+
+
+def import_csv(path: PathLike) -> ObjectCollection:
+    """Read a file written by :func:`export_csv`."""
+    with open(Path(path), newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        has_time = header[-1] == "t"
+        dimension = len(header) - 1 - (1 if has_time else 0)
+        points_by_oid: dict = {}
+        times_by_oid: dict = {}
+        for row in reader:
+            oid = int(row[0])
+            points_by_oid.setdefault(oid, []).append(
+                [float(value) for value in row[1:1 + dimension]]
+            )
+            if has_time:
+                times_by_oid.setdefault(oid, []).append(float(row[-1]))
+    oids = sorted(points_by_oid)
+    point_arrays = [np.asarray(points_by_oid[oid]) for oid in oids]
+    timestamp_arrays = [np.asarray(times_by_oid[oid]) for oid in oids] if has_time else None
+    return ObjectCollection.from_point_arrays(point_arrays, timestamp_arrays)

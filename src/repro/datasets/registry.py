@@ -1,0 +1,148 @@
+"""Named dataset analogues mirroring Table I of the paper.
+
+Each entry keeps the *shape* of its Table-I counterpart -- the n : m ratio,
+the dimensionality, and the spatial skew -- at a scale pure Python can
+sweep in seconds (DESIGN.md §3 documents the scale substitution).  The
+``scale`` parameter multiplies ``n`` so the Fig. 6 scalability experiments
+can grow or shrink a dataset while keeping m fixed, exactly like the
+paper's object sampling.
+
+The unit of ``r`` matches the generators' step scales, so the paper's
+sweep r = 4..10 lands in the interesting regime for every dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.objects import ObjectCollection
+from repro.datasets.neurons import make_neurons
+from repro.datasets.powerlaw import make_powerlaw
+from repro.datasets.trajectories import make_trajectories
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one named dataset analogue."""
+
+    name: str
+    paper_n: int
+    paper_m: int
+    unit: str
+    build: Callable[[float, int], ObjectCollection]
+    base_n: int
+    base_m: int
+
+
+def _neuron(scale: float, seed: int) -> ObjectCollection:
+    return make_neurons(
+        n=max(2, int(70 * scale)),
+        mean_points=350,
+        extent=220.0,
+        n_clusters=5,
+        cluster_spread=15.0,
+        step=2.0,
+        seed=seed,
+    )
+
+
+def _neuron_2(scale: float, seed: int) -> ObjectCollection:
+    return make_neurons(
+        n=max(2, int(420 * scale)),
+        mean_points=45,
+        extent=320.0,
+        n_clusters=8,
+        cluster_spread=18.0,
+        step=2.5,
+        seed=seed,
+    )
+
+
+def _bird(scale: float, seed: int) -> ObjectCollection:
+    return make_trajectories(
+        n=max(2, int(900 * scale)),
+        points_per_trajectory=22,
+        extent=2500.0,
+        n_flocks=18,
+        step=6.0,
+        offset_scale=9.0,
+        seed=seed,
+    )
+
+
+def _bird_2(scale: float, seed: int) -> ObjectCollection:
+    return make_trajectories(
+        n=max(2, int(320 * scale)),
+        points_per_trajectory=55,
+        extent=1800.0,
+        n_flocks=10,
+        step=5.0,
+        offset_scale=8.0,
+        seed=seed,
+    )
+
+
+def _syn(scale: float, seed: int) -> ObjectCollection:
+    return make_powerlaw(
+        n=max(2, int(1400 * scale)),
+        mean_points=15,
+        extent=2600.0,
+        n_communities=45,
+        community_radius=14.0,
+        seed=seed,
+    )
+
+
+_REGISTRY: Dict[str, DatasetSpec] = {
+    "neuron": DatasetSpec("neuron", 776, 7960, "micrometer", _neuron, 70, 350),
+    "neuron-2": DatasetSpec("neuron-2", 5493, 848, "micrometer", _neuron_2, 420, 45),
+    "bird": DatasetSpec("bird", 143042, 50, "meter", _bird, 900, 22),
+    "bird-2": DatasetSpec("bird-2", 29247, 100, "meter", _bird_2, 320, 55),
+    "syn": DatasetSpec("syn", 851519, 52, "-", _syn, 1400, 15),
+}
+
+DATASET_NAMES: Tuple[str, ...] = tuple(_REGISTRY)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 7) -> ObjectCollection:
+    """Build a named analogue; ``scale`` multiplies the object count."""
+    try:
+        spec = _REGISTRY[name]
+    except KeyError:
+        options = ", ".join(DATASET_NAMES)
+        raise ValueError(f"unknown dataset {name!r} (choose from: {options})") from None
+    return spec.build(scale, seed)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """The registry entry for a named dataset."""
+    return _REGISTRY[name]
+
+
+def default_r_values(name: str) -> List[float]:
+    """The paper's r sweep (4..10, after [7]) -- shared by every dataset."""
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown dataset {name!r}")
+    return [4.0, 6.0, 8.0, 10.0]
+
+
+def dataset_table(scale: float = 1.0, seed: int = 7) -> List[Dict[str, object]]:
+    """Rows of the Table-I analogue: per-dataset n, m, nm and the paper's."""
+    rows = []
+    for name, spec in _REGISTRY.items():
+        collection = spec.build(scale, seed)
+        rows.append(
+            {
+                "dataset": name,
+                "n": collection.n,
+                "m": round(collection.mean_points, 1),
+                "nm": collection.total_points,
+                "dim": collection.dimension,
+                "unit": spec.unit,
+                "paper_n": spec.paper_n,
+                "paper_m": spec.paper_m,
+                "paper_nm": spec.paper_n * spec.paper_m,
+            }
+        )
+    return rows

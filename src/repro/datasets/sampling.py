@@ -1,0 +1,30 @@
+"""Object sampling for the scalability experiments (Fig. 6).
+
+The paper evaluates scalability by selecting ``s * n`` objects from each
+dataset at sampling rate ``s``; :func:`sample_collection` does the same,
+renumbering object ids so bitsets stay dense.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.objects import ObjectCollection
+
+
+def sample_collection(
+    collection: ObjectCollection,
+    rate: float,
+    seed: Optional[int] = 0,
+) -> ObjectCollection:
+    """A uniform sample of ``round(rate * n)`` objects (at least one)."""
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("the sampling rate must lie in (0, 1]")
+    if rate == 1.0:
+        return collection
+    rng = np.random.default_rng(seed)
+    count = max(1, int(round(rate * collection.n)))
+    indices = np.sort(rng.choice(collection.n, size=count, replace=False))
+    return collection.subset(indices.tolist())

@@ -1,0 +1,102 @@
+"""SWC neuron-morphology files (the NeuroMorpho exchange format).
+
+The paper's Neuron datasets come from neuromorpho.org, which serves
+reconstructions in SWC: one sample point per line,
+
+    <id> <type> <x> <y> <z> <radius> <parent_id>
+
+with ``#`` comment lines and ``parent_id = -1`` for roots.  This module
+reads real SWC files into :class:`~repro.core.objects.SpatialObject`
+point sets (the paper uses only the sample coordinates) and writes our
+synthetic arbors back out as valid SWC, so the pipeline runs unchanged on
+downloaded morphologies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+import numpy as np
+
+from repro.core.objects import ObjectCollection
+
+PathLike = Union[str, Path]
+
+#: SWC structure-type code for "undefined" (we carry no topology semantics).
+_UNDEFINED_TYPE = 0
+_DEFAULT_RADIUS = 1.0
+
+
+def read_swc(path: PathLike) -> np.ndarray:
+    """Read one SWC file and return its sample coordinates as an (m, 3) array.
+
+    Raises ``ValueError`` on malformed lines (wrong field count or
+    non-numeric coordinates); comment and blank lines are skipped.
+    """
+    points: List[List[float]] = []
+    with open(Path(path)) as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 7:
+                raise ValueError(
+                    f"{path}:{line_number}: SWC lines need 7 fields, got {len(fields)}"
+                )
+            try:
+                points.append([float(fields[2]), float(fields[3]), float(fields[4])])
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: non-numeric coordinate"
+                ) from error
+    if not points:
+        raise ValueError(f"{path}: no sample points found")
+    return np.asarray(points, dtype=np.float64)
+
+
+def write_swc(path: PathLike, points: np.ndarray, comment: str = "") -> None:
+    """Write an (m, 3) point array as a valid SWC file.
+
+    Points are emitted as a simple parent chain (each sample's parent is
+    the previous one), which preserves the coordinates exactly -- the only
+    thing :func:`read_swc` (and the paper's pipeline) consumes.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3 or len(points) == 0:
+        raise ValueError("SWC export needs a non-empty (m, 3) array")
+    with open(Path(path), "w") as handle:
+        if comment:
+            handle.write(f"# {comment}\n")
+        handle.write("# id type x y z radius parent\n")
+        for index, (x, y, z) in enumerate(points, start=1):
+            parent = index - 1 if index > 1 else -1
+            handle.write(
+                f"{index} {_UNDEFINED_TYPE} {x:.6f} {y:.6f} {z:.6f} "
+                f"{_DEFAULT_RADIUS:.3f} {parent}\n"
+            )
+
+
+def load_neurons_from_swc(paths: Iterable[PathLike]) -> ObjectCollection:
+    """Build a collection from SWC files, one object per file (in order)."""
+    arrays = [read_swc(path) for path in paths]
+    return ObjectCollection.from_point_arrays(arrays)
+
+
+def export_collection_to_swc(
+    directory: PathLike,
+    collection: ObjectCollection,
+    prefix: str = "neuron",
+) -> List[Path]:
+    """Write each object of a 3-D collection as ``<prefix>_<oid>.swc``."""
+    if collection.dimension != 3:
+        raise ValueError("SWC files are 3-D; the collection must be too")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for obj in collection:
+        path = directory / f"{prefix}_{obj.oid:05d}.swc"
+        write_swc(path, obj.points, comment=f"object {obj.oid}")
+        paths.append(path)
+    return paths

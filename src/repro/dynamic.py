@@ -1,0 +1,135 @@
+"""Dynamic object collections: insert/remove between queries.
+
+The paper assumes a static, memory-resident collection (Section II-A),
+which matches its simulation workloads; production trajectory stores
+grow.  :class:`DynamicMIO` wraps the static machinery with the minimal
+bookkeeping that keeps every paper guarantee intact:
+
+* objects get stable external handles, independent of the dense internal
+  ids the bitsets use;
+* every mutation invalidates the compiled collection and the label store
+  (labels are positional, so reusing them across a re-compaction would be
+  unsound — this is the cracking-style trade-off the related work
+  discusses: reuse helps only while the data holds still);
+* queries lazily re-compact and then run the unmodified exact engine, so
+  answers are always exact for the current contents.
+
+This is deliberately a thin adoption layer, not an incremental index:
+maintaining BIGrid incrementally is pointless because the index is built
+per query anyway (Appendix A); what must be dynamic is the collection
+and the label-reuse lifecycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import MIOEngine
+from repro.core.labels import LabelStore
+from repro.core.objects import ObjectCollection
+from repro.core.query import MIOResult
+
+
+class DynamicMIO:
+    """An updatable collection with exact MIO queries.
+
+    Handles returned by :meth:`add_object` are stable across removals;
+    query results are translated back to handles.
+    """
+
+    def __init__(self, backend: str = "ewah", use_labels: bool = True) -> None:
+        self.backend = backend
+        self.use_labels = use_labels
+        self._points: Dict[int, np.ndarray] = {}
+        self._timestamps: Dict[int, Optional[np.ndarray]] = {}
+        self._next_handle = 0
+        self._engine: Optional[MIOEngine] = None
+        self._handle_of_position: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_object(
+        self, points: np.ndarray, timestamps: Optional[np.ndarray] = None
+    ) -> int:
+        """Insert an object; returns its stable handle."""
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("an object must be a non-empty (m, d) array")
+        handle = self._next_handle
+        self._next_handle += 1
+        self._points[handle] = points
+        self._timestamps[handle] = (
+            np.ascontiguousarray(timestamps, dtype=np.float64)
+            if timestamps is not None
+            else None
+        )
+        self._invalidate()
+        return handle
+
+    def remove_object(self, handle: int) -> None:
+        """Remove an object by handle; raises ``KeyError`` if absent."""
+        del self._points[handle]
+        del self._timestamps[handle]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        # Labels are positional; any mutation makes stored labels unsound.
+        self._engine = None
+        self._handle_of_position = []
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._points)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, handle: int) -> bool:
+        return handle in self._points
+
+    def get_points(self, handle: int) -> np.ndarray:
+        return self._points[handle]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _compile(self) -> MIOEngine:
+        if self._engine is None:
+            if len(self._points) < 2:
+                raise ValueError("MIO queries need at least two objects")
+            handles = sorted(self._points)
+            self._handle_of_position = handles
+            collection = ObjectCollection.from_point_arrays(
+                [self._points[handle] for handle in handles]
+            )
+            store = LabelStore() if self.use_labels else None
+            self._engine = MIOEngine(collection, backend=self.backend, label_store=store)
+        return self._engine
+
+    def query(self, r: float) -> Tuple[int, MIOResult]:
+        """Exact MIO over the current contents: ``(winner_handle, result)``.
+
+        Repeated queries between mutations share one compiled collection
+        and one label store, so same-ceiling sweeps get the Section III-D
+        speedup automatically; any mutation resets both.
+        """
+        engine = self._compile()
+        result = engine.query(r)
+        return self._handle_of_position[result.winner], result
+
+    def query_topk(self, r: float, k: int) -> List[Tuple[int, int]]:
+        """Top-k as ``(handle, score)`` pairs, best first."""
+        engine = self._compile()
+        result = engine.query_topk(r, k)
+        return [
+            (self._handle_of_position[oid], score) for oid, score in result.topk
+        ]

@@ -1,0 +1,34 @@
+"""Spatial grid structures: the G in BIGrid.
+
+* :mod:`repro.grid.keys`       -- cell key computation and adjacency
+* :mod:`repro.grid.small_grid` -- Definition 2 (bitset cells, width r/sqrt(d))
+* :mod:`repro.grid.large_grid` -- Definition 3 (inverted lists + bitsets,
+  width ceil(r), lazy adjacent-union bitsets)
+* :mod:`repro.grid.bigrid`     -- Algorithm 3, GRID-MAPPING (+ label variant)
+"""
+
+from repro.grid.bigrid import BIGrid
+from repro.grid.keys import (
+    adjacent_keys,
+    cell_and_adjacent_keys,
+    compute_keys,
+    large_cell_width,
+    neighbor_offsets,
+    small_cell_width,
+)
+from repro.grid.large_grid import LargeGrid, LargeGridCell
+from repro.grid.small_grid import SmallGrid, SmallGridCell
+
+__all__ = [
+    "BIGrid",
+    "LargeGrid",
+    "LargeGridCell",
+    "SmallGrid",
+    "SmallGridCell",
+    "adjacent_keys",
+    "cell_and_adjacent_keys",
+    "compute_keys",
+    "large_cell_width",
+    "neighbor_offsets",
+    "small_cell_width",
+]

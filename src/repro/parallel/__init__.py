@@ -1,0 +1,40 @@
+"""Parallel MIO query processing (Section IV of the paper).
+
+* :mod:`repro.parallel.partitioning` -- multi-way number partitioning
+  (Theorem 3 shows optimal balancing is NP-complete, so the paper uses
+  greedy heuristics) and the Eq. (3) cost model.
+* :mod:`repro.parallel.plans`        -- per-phase partitioning plans:
+  LB-greedy-d / LB-hash-p for lower-bounding, UB-greedy-p / UB-greedy-d
+  for upper-bounding, the point-splitting plan for verification.
+* :mod:`repro.parallel.executor`     -- a deterministic simulated-makespan
+  executor (the measurement device for Figs. 8/9 and Table III; see
+  DESIGN.md §5) and a real-thread executor for functional parity.
+* :mod:`repro.parallel.engine`       -- the parallel engine plus parallel
+  renditions of the NL and SG competitors.
+"""
+
+from repro.parallel.engine import ParallelMIOEngine, parallel_nested_loop, parallel_simple_grid
+from repro.parallel.executor import CoreReport, SimulatedExecutor, ThreadExecutor
+from repro.parallel.partitioning import (
+    greedy_partition,
+    hash_partition,
+    karmarkar_karp_partition,
+    load_balance_ratio,
+    streaming_greedy_partition,
+    upper_bounding_group_cost,
+)
+
+__all__ = [
+    "CoreReport",
+    "ParallelMIOEngine",
+    "SimulatedExecutor",
+    "ThreadExecutor",
+    "greedy_partition",
+    "hash_partition",
+    "karmarkar_karp_partition",
+    "load_balance_ratio",
+    "parallel_nested_loop",
+    "parallel_simple_grid",
+    "streaming_greedy_partition",
+    "upper_bounding_group_cost",
+]

@@ -1,0 +1,180 @@
+"""Executors for partitioned work.
+
+:class:`SimulatedExecutor` is the measurement device behind Figs. 8/9 and
+Table III.  CPython's GIL makes real-thread speedups unobservable for CPU
+work, but the paper's parallel contributions are *partitioning schemes*,
+and their quality is exactly the makespan of the schedule they produce.
+The simulator runs every task serially (answers stay exact and
+deterministic), measures each task's wall-clock cost, charges it to the
+core the plan chose, and reports
+
+    makespan = max over cores of (sum of charged task costs) + merge cost,
+
+with barrier semantics available for phases that synchronize between
+rounds.  No constants are invented: every charged cost is a measured
+execution, and merge work is really executed and timed.
+
+:class:`ThreadExecutor` runs the same plans on real threads, used by tests
+to show the partitioned computation is correct under true concurrency.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+Task = Callable[[], Any]
+
+
+@contextmanager
+def gc_paused():
+    """Suspend the cyclic GC while measuring a schedule.
+
+    A collection pause landing inside one micro-task would be charged to a
+    single simulated core and distort the makespan; deferring collection to
+    the end of the phase keeps per-task costs attributable.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+@dataclass
+class CoreReport:
+    """Accumulated schedule of one simulated phase (or several, merged)."""
+
+    cores: int
+    per_core_seconds: List[float] = field(default_factory=list)
+    merge_seconds: float = 0.0
+    #: Sum over completed barrier rounds of the round's max core time.
+    barrier_seconds: float = 0.0
+    serial_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.per_core_seconds:
+            self.per_core_seconds = [0.0] * self.cores
+
+    @property
+    def makespan(self) -> float:
+        """The simulated parallel wall-clock of the schedule."""
+        return self.barrier_seconds + max(self.per_core_seconds) + self.merge_seconds
+
+    def speedup(self) -> float:
+        """Serial time divided by makespan (>= 1 means the plan helps)."""
+        makespan = self.makespan
+        return self.serial_seconds / makespan if makespan > 0 else 1.0
+
+    def merge_with(self, other: "CoreReport") -> "CoreReport":
+        """Chain two phases: makespans add, core loads concatenate by phase."""
+        combined = CoreReport(self.cores)
+        combined.barrier_seconds = self.makespan + other.makespan
+        combined.per_core_seconds = [0.0] * self.cores
+        combined.serial_seconds = self.serial_seconds + other.serial_seconds
+        return combined
+
+
+class SimulatedExecutor:
+    """Serial execution with per-core cost accounting."""
+
+    def __init__(self, cores: int) -> None:
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.cores = cores
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        assignment: Sequence[int],
+        merge: Optional[Task] = None,
+    ) -> tuple:
+        """Run one fan-out/merge round.
+
+        ``assignment[i]`` is the core charged for ``tasks[i]``.  Returns
+        ``(results, report)`` with results in task order.
+        """
+        if len(tasks) != len(assignment):
+            raise ValueError("every task needs a core assignment")
+        report = CoreReport(self.cores)
+        results = []
+        with gc_paused():
+            for task, core in zip(tasks, assignment):
+                started = time.perf_counter()
+                results.append(task())
+                elapsed = time.perf_counter() - started
+                report.per_core_seconds[core] += elapsed
+                report.serial_seconds += elapsed
+            if merge is not None:
+                started = time.perf_counter()
+                merge()
+                report.merge_seconds = time.perf_counter() - started
+                report.serial_seconds += report.merge_seconds
+        return results, report
+
+    def run_rounds(
+        self,
+        rounds: Sequence[tuple],
+    ) -> tuple:
+        """Run barrier-separated rounds: ``rounds[i] = (tasks, assignment, merge)``.
+
+        The makespan of each round is its max core time plus its merge; the
+        phase makespan is the sum over rounds (cores idle at each barrier).
+        Returns ``(per_round_results, report)``.
+        """
+        report = CoreReport(self.cores)
+        all_results = []
+        for tasks, assignment, merge in rounds:
+            round_results, round_report = self.run(tasks, assignment, merge)
+            all_results.append(round_results)
+            report.barrier_seconds += round_report.makespan
+            report.serial_seconds += round_report.serial_seconds
+        return all_results, report
+
+
+class ThreadExecutor:
+    """Real threads running the same per-core plans.
+
+    Used to demonstrate functional correctness of the partitioned
+    computation; wall-clock speedup is not expected under the GIL and the
+    report's makespan here is simply the measured wall time.
+    """
+
+    def __init__(self, cores: int) -> None:
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.cores = cores
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        assignment: Sequence[int],
+        merge: Optional[Task] = None,
+    ) -> tuple:
+        if len(tasks) != len(assignment):
+            raise ValueError("every task needs a core assignment")
+        per_core: List[List[int]] = [[] for _ in range(self.cores)]
+        for index, core in enumerate(assignment):
+            per_core[core].append(index)
+        results: List[Any] = [None] * len(tasks)
+
+        def run_core(task_indices: List[int]) -> None:
+            for index in task_indices:
+                results[index] = tasks[index]()
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=self.cores) as pool:
+            list(pool.map(run_core, per_core))
+        if merge is not None:
+            merge()
+        elapsed = time.perf_counter() - started
+        report = CoreReport(self.cores)
+        report.per_core_seconds = [elapsed] + [0.0] * (self.cores - 1)
+        report.serial_seconds = elapsed
+        return results, report

@@ -1,0 +1,150 @@
+"""Partitioning plans for each phase of parallel MIO processing (Section IV).
+
+A plan decides, before execution, which core handles which unit of work:
+
+* **Grid mapping** -- hash-partition each object's points over the cores
+  (objects stay sequential; Theorem 3 rules out balanced object-level
+  splitting with guarantees).
+* **Lower-bounding** -- either split the *objects* by key-list size with
+  the streaming greedy heuristic (LB-greedy-d: no synchronization, but
+  only heuristic balance) or split each object's *key list* round-robin
+  (LB-hash-p: perfect balance per object, but local bitsets must be
+  merged at every object barrier).
+* **Upper-bounding** -- UB-greedy-p assigns key groups ``P_{i,K}`` by the
+  Eq. (3) cost model with the constraint that one key is owned by exactly
+  one core (so adjacent-union bitsets need no synchronization);
+  UB-greedy-d is the naive competitor that splits objects by point count.
+* **Verification** -- split every ``P_{i,K}`` into ``t`` near-equal chunks
+  so each core sees the same mix of cells (the paper's heuristic for the
+  phase whose pruning makes costs unpredictable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.grid.bigrid import BIGrid
+from repro.grid.keys import Key
+from repro.parallel.partitioning import (
+    streaming_greedy_partition,
+    upper_bounding_group_cost,
+)
+
+#: One upper-bounding work unit: (oid, large-grid key, point indices).
+GroupTask = Tuple[int, Key, List[int]]
+
+
+@dataclass
+class ObjectPlan:
+    """Object-level plan: task i is object i; ``assignment[i]`` its core."""
+
+    assignment: List[int]
+    loads: List[float]
+
+
+def plan_objects_by_weight(weights: Sequence[float], cores: int) -> ObjectPlan:
+    """Streaming greedy assignment of objects by the given weights."""
+    parts, loads = streaming_greedy_partition(weights, cores)
+    assignment = [0] * len(weights)
+    for core, indices in enumerate(parts):
+        for index in indices:
+            assignment[index] = core
+    return ObjectPlan(assignment=assignment, loads=loads)
+
+
+def plan_lower_bounding_greedy_d(bigrid: BIGrid, cores: int) -> ObjectPlan:
+    """LB-greedy-d: objects weighted by their key-list size ``|o_i.L|``."""
+    weights = [float(len(keys)) for keys in bigrid.key_lists]
+    return plan_objects_by_weight(weights, cores)
+
+
+def plan_upper_bounding_greedy_d(bigrid: BIGrid, cores: int) -> ObjectPlan:
+    """UB-greedy-d: the naive competitor, objects weighted by ``|P_i|``."""
+    weights = [float(obj.num_points) for obj in bigrid.collection]
+    return plan_objects_by_weight(weights, cores)
+
+
+@dataclass
+class GroupPlan:
+    """Group-level plan for UB-greedy-p."""
+
+    tasks: List[GroupTask]
+    assignment: List[int]
+    loads: List[float]
+
+
+def plan_upper_bounding_greedy_p(
+    bigrid: BIGrid,
+    cores: int,
+    include_labeling: bool = True,
+) -> GroupPlan:
+    """UB-greedy-p: Eq. (3) cost-based greedy with key-ownership.
+
+    Groups arrive in object order (the order Algorithm 5 processes them);
+    the first group touching a key is charged the adjacent-union cost and
+    pins the key to its core, so later groups with the same key follow it
+    (no synchronization on ``b_adj``).
+    """
+    dimension = bigrid.collection.dimension
+    tasks: List[GroupTask] = []
+    costs: List[float] = []
+    seen_keys: Dict[Key, int] = {}
+    for oid in range(bigrid.collection.n):
+        for key, point_indices in bigrid.object_groups[oid].items():
+            cost = upper_bounding_group_cost(
+                len(point_indices),
+                needs_adjacent_union=key not in seen_keys,
+                dimension=dimension,
+                include_labeling=include_labeling,
+            )
+            seen_keys.setdefault(key, len(tasks))
+            tasks.append((oid, key, point_indices))
+            costs.append(cost)
+
+    loads = [0.0] * cores
+    assignment = [0] * len(tasks)
+    key_owner: Dict[Key, int] = {}
+    for index, (oid, key, _points) in enumerate(tasks):
+        owner = key_owner.get(key)
+        if owner is None:
+            # Least-loaded core takes the group and becomes the key's owner.
+            owner = min(range(cores), key=lambda core: loads[core])
+            key_owner[key] = owner
+        assignment[index] = owner
+        loads[owner] += costs[index]
+    return GroupPlan(tasks=tasks, assignment=assignment, loads=loads)
+
+
+def split_points_round_robin(point_indices: Sequence[int], cores: int) -> List[List[int]]:
+    """Split one ``P_{i,K}`` into ``cores`` near-equal chunks (may be empty)."""
+    chunks: List[List[int]] = [[] for _ in range(cores)]
+    for position, point_index in enumerate(point_indices):
+        chunks[position % cores].append(point_index)
+    return chunks
+
+
+def plan_verification_chunks(
+    groups: Dict[Key, List[int]],
+    cores: int,
+) -> List[List[Tuple[Key, List[int]]]]:
+    """Per-core (key, point chunk) lists for one candidate's verification.
+
+    Every key group is split across all cores, so each core sees a uniform
+    mix of dense and sparse cells; groups smaller than ``t`` go to the core
+    with the fewest points so far.
+    """
+    per_core: List[List[Tuple[Key, List[int]]]] = [[] for _ in range(cores)]
+    per_core_points = [0] * cores
+    for key, point_indices in groups.items():
+        if len(point_indices) < cores:
+            for point_index in point_indices:
+                core = min(range(cores), key=lambda c: per_core_points[c])
+                per_core[core].append((key, [point_index]))
+                per_core_points[core] += 1
+            continue
+        for core, chunk in enumerate(split_points_round_robin(point_indices, cores)):
+            if chunk:
+                per_core[core].append((key, chunk))
+                per_core_points[core] += len(chunk)
+    return per_core

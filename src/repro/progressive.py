@@ -1,0 +1,118 @@
+"""Anytime (progressive) MIO queries.
+
+The paper motivates MIO queries with interactive analysis: "if each MIO
+query incurs a long processing time, only a limited number of trials may
+be possible" (Section I-B).  The filter-and-verification framework is
+naturally an *anytime* algorithm — after bounding, the best lower bound
+is already a valid provisional answer, and every verified candidate
+either improves it or tightens the optimality gap — so this module
+exposes it that way:
+
+* :func:`query_progressive` yields a :class:`ProgressiveState` after the
+  bounding phases and then after every verified candidate.  Each state
+  carries the best object so far, a certified interval
+  ``[best_score, score_upper_bound]`` on the optimum, and ``is_final``.
+* Consumers stop whenever the gap is good enough (or their time budget
+  runs out); running to exhaustion reproduces the exact answer.
+
+Everything is built from the public phase functions; no engine internals
+are duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.lower_bound import compute_lower_bounds
+from repro.core.objects import ObjectCollection
+from repro.core.upper_bound import compute_upper_bounds
+from repro.core.verification import verify_candidates
+from repro.grid.bigrid import BIGrid
+
+
+@dataclass
+class ProgressiveState:
+    """A certified intermediate answer.
+
+    The true maximum score lies in ``[best_score, score_upper_bound]``;
+    ``best_oid`` attains ``best_score``.  When ``is_final`` is True the
+    interval has collapsed (or every candidate is verified) and
+    ``best_oid`` is an exact MIO answer.
+    """
+
+    best_oid: int
+    best_score: int
+    score_upper_bound: int
+    candidates_total: int
+    candidates_verified: int
+    is_final: bool
+
+    @property
+    def gap(self) -> int:
+        """How far the provisional answer can still be beaten."""
+        return self.score_upper_bound - self.best_score
+
+
+def query_progressive(
+    collection: ObjectCollection,
+    r: float,
+    backend: str = "ewah",
+    max_verifications: Optional[int] = None,
+) -> Iterator[ProgressiveState]:
+    """Yield progressively tighter MIO answers for one query.
+
+    The first state arrives after grid mapping + bounding (no exact
+    scoring yet); subsequent states follow each verified candidate.
+    ``max_verifications`` truncates the stream early (the final state
+    then reports ``is_final=False`` unless the gap closed first).
+    """
+    if r <= 0:
+        raise ValueError("the distance threshold r must be positive")
+    bigrid = BIGrid.build(collection, r, backend=backend)
+    lower = compute_lower_bounds(bigrid)
+    upper = compute_upper_bounds(bigrid, tau_max_low=lower.tau_max)
+    candidates = upper.candidates
+
+    # The best lower bound is already attained by some object; use it as
+    # the provisional answer before any verification.
+    best_oid = max(range(collection.n), key=lambda oid: (lower.values[oid], -oid))
+    best_score = lower.values[best_oid]
+    remaining_upper = candidates[0][0] if candidates else 0
+
+    yield ProgressiveState(
+        best_oid=best_oid,
+        best_score=best_score,
+        score_upper_bound=max(remaining_upper, best_score),
+        candidates_total=len(candidates),
+        candidates_verified=0,
+        is_final=not candidates or remaining_upper <= best_score,
+    )
+    if not candidates or remaining_upper <= best_score:
+        return
+
+    budget = len(candidates) if max_verifications is None else max_verifications
+    verified = 0
+    for position, (upper_bound, oid) in enumerate(candidates):
+        if upper_bound <= best_score or verified >= budget:
+            break
+        # Verify exactly one candidate by scoring it in isolation.
+        result = verify_candidates(bigrid, [(upper_bound, oid)], r, k=1)
+        score = result.ranking[0][1]
+        verified += 1
+        if score > best_score or (score == best_score and oid < best_oid):
+            best_oid, best_score = oid, score
+        next_upper = (
+            candidates[position + 1][0] if position + 1 < len(candidates) else 0
+        )
+        final = next_upper <= best_score
+        yield ProgressiveState(
+            best_oid=best_oid,
+            best_score=best_score,
+            score_upper_bound=max(next_upper, best_score),
+            candidates_total=len(candidates),
+            candidates_verified=verified,
+            is_final=final,
+        )
+        if final:
+            return

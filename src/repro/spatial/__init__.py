@@ -1,0 +1,11 @@
+"""Spatial search substrates: kd-tree and closest point pair.
+
+Used by the kd-tree nested-loop variant (paper footnote 9) and by the
+theoretical algorithm's pre-processing (Theorem 1, which needs the closest
+point pair between every pair of objects).
+"""
+
+from repro.spatial.closest_pair import closest_pair_distance
+from repro.spatial.kdtree import KDTree
+
+__all__ = ["KDTree", "closest_pair_distance"]

@@ -1,0 +1,149 @@
+"""A compact kd-tree over a numpy point array.
+
+Supports the two queries the baselines need:
+
+* ``any_within(q, r)``  -- does any indexed point lie within ``r`` of ``q``?
+  (early-exit containment test used by the kd-tree NL variant, footnote 9)
+* ``nearest(q)``        -- nearest-neighbour distance, used to compute the
+  closest point pair between two objects (Theorem 1 pre-processing).
+
+The tree is built with median splits on the axis of largest spread and
+stored in flat arrays (no per-node Python objects); leaves hold small point
+buckets that are scanned vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+_LEAF_SIZE = 16
+
+
+class KDTree:
+    """Static kd-tree over the rows of a (m, d) float array."""
+
+    __slots__ = ("points", "_order", "_split_axis", "_split_value", "_children", "_ranges")
+
+    def __init__(self, points: np.ndarray, leaf_size: int = _LEAF_SIZE) -> None:
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("KDTree requires a non-empty (m, d) array")
+        self.points = points
+        #: Permutation of row indices; each node owns a contiguous slice.
+        self._order = np.arange(len(points))
+        self._split_axis: List[int] = []
+        self._split_value: List[float] = []
+        #: (left_child, right_child) per node; -1 marks a leaf.
+        self._children: List[Tuple[int, int]] = []
+        #: (start, stop) slice of ``_order`` per node.
+        self._ranges: List[Tuple[int, int]] = []
+        self._build(0, len(points), leaf_size)
+
+    def _build(self, start: int, stop: int, leaf_size: int) -> int:
+        node = len(self._ranges)
+        self._ranges.append((start, stop))
+        self._split_axis.append(-1)
+        self._split_value.append(0.0)
+        self._children.append((-1, -1))
+        if stop - start <= leaf_size:
+            return node
+        block = self.points[self._order[start:stop]]
+        spreads = block.max(axis=0) - block.min(axis=0)
+        axis = int(np.argmax(spreads))
+        if spreads[axis] == 0.0:
+            return node  # all points coincide: keep as leaf
+        middle = (stop - start) // 2
+        segment = self._order[start:stop]
+        keys = self.points[segment, axis]
+        partition = np.argpartition(keys, middle)
+        self._order[start:stop] = segment[partition]
+        split_value = float(self.points[self._order[start + middle], axis])
+        self._split_axis[node] = axis
+        self._split_value[node] = split_value
+        left = self._build(start, start + middle, leaf_size)
+        right = self._build(start + middle, stop, leaf_size)
+        self._children[node] = (left, right)
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def any_within(self, query: np.ndarray, r: float) -> bool:
+        """Whether some indexed point lies within distance ``r`` of ``query``."""
+        query = np.asarray(query, dtype=np.float64)
+        r_squared = r * r
+        stack = [(0, 0.0)]
+        while stack:
+            node, gap_squared = stack.pop()
+            if gap_squared > r_squared:
+                continue
+            left, right = self._children[node]
+            if left < 0:
+                start, stop = self._ranges[node]
+                block = self.points[self._order[start:stop]]
+                diff = block - query
+                if np.min(np.einsum("ij,ij->i", diff, diff)) <= r_squared:
+                    return True
+                continue
+            axis = self._split_axis[node]
+            delta = float(query[axis]) - self._split_value[node]
+            near, far = (left, right) if delta < 0 else (right, left)
+            stack.append((far, max(gap_squared, delta * delta)))
+            stack.append((near, gap_squared))
+        return False
+
+    def nearest(self, query: np.ndarray) -> float:
+        """Distance from ``query`` to its nearest indexed point."""
+        query = np.asarray(query, dtype=np.float64)
+        best = np.inf
+        stack = [(0, 0.0)]
+        while stack:
+            node, gap_squared = stack.pop()
+            if gap_squared >= best:
+                continue
+            left, right = self._children[node]
+            if left < 0:
+                start, stop = self._ranges[node]
+                block = self.points[self._order[start:stop]]
+                diff = block - query
+                leaf_best = float(np.min(np.einsum("ij,ij->i", diff, diff)))
+                if leaf_best < best:
+                    best = leaf_best
+                continue
+            axis = self._split_axis[node]
+            delta = float(query[axis]) - self._split_value[node]
+            near, far = (left, right) if delta < 0 else (right, left)
+            stack.append((far, max(gap_squared, delta * delta)))
+            stack.append((near, gap_squared))
+        return float(np.sqrt(best))
+
+    def count_within(self, query: np.ndarray, r: float) -> int:
+        """Number of indexed points within distance ``r`` of ``query``."""
+        query = np.asarray(query, dtype=np.float64)
+        r_squared = r * r
+        count = 0
+        stack = [(0, 0.0)]
+        while stack:
+            node, gap_squared = stack.pop()
+            if gap_squared > r_squared:
+                continue
+            left, right = self._children[node]
+            if left < 0:
+                start, stop = self._ranges[node]
+                block = self.points[self._order[start:stop]]
+                diff = block - query
+                distances = np.einsum("ij,ij->i", diff, diff)
+                count += int(np.count_nonzero(distances <= r_squared))
+                continue
+            axis = self._split_axis[node]
+            delta = float(query[axis]) - self._split_value[node]
+            near, far = (left, right) if delta < 0 else (right, left)
+            stack.append((far, max(gap_squared, delta * delta)))
+            stack.append((near, gap_squared))
+        return count
+
+    def __len__(self) -> int:
+        return len(self.points)

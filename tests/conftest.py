@@ -1,0 +1,101 @@
+"""Shared fixtures and oracles for the test-suite.
+
+The ground-truth scorer here is deliberately independent of every library
+code path: it uses scipy's cdist over full distance matrices, so engine,
+baselines, and index can all be validated against it without circularity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.core.objects import ObjectCollection
+
+
+def oracle_scores(collection: ObjectCollection, r: float) -> List[int]:
+    """Brute-force tau(o) for every object via full distance matrices."""
+    n = collection.n
+    tau = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            distances = cdist(collection[i].points, collection[j].points)
+            if np.min(distances) <= r:
+                tau[i] += 1
+                tau[j] += 1
+    return tau
+
+
+def oracle_temporal_scores(
+    collection: ObjectCollection, r: float, delta: float
+) -> List[int]:
+    """Brute-force temporal tau(o): both dist <= r and |t - t'| <= delta."""
+    n = collection.n
+    tau = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            distances = cdist(collection[i].points, collection[j].points)
+            gaps = np.abs(
+                collection[i].timestamps[:, None] - collection[j].timestamps[None, :]
+            )
+            if np.any((distances <= r) & (gaps <= delta)):
+                tau[i] += 1
+                tau[j] += 1
+    return tau
+
+
+def random_collection(
+    n: int,
+    mean_points: int,
+    dimension: int = 2,
+    extent: float = 50.0,
+    seed: int = 0,
+    clustered: bool = True,
+    with_timestamps: bool = False,
+) -> ObjectCollection:
+    """A small random collection with optional spatial clustering."""
+    rng = np.random.default_rng(seed)
+    point_arrays = []
+    timestamp_arrays: Optional[list] = [] if with_timestamps else None
+    centers = rng.uniform(0, extent, size=(max(2, n // 4), dimension))
+    for _ in range(n):
+        count = int(rng.integers(max(1, mean_points // 2), mean_points * 2))
+        if clustered:
+            center = centers[rng.integers(len(centers))]
+            points = center + rng.normal(0, extent / 15.0, size=(count, dimension))
+        else:
+            points = rng.uniform(0, extent, size=(count, dimension))
+        point_arrays.append(points)
+        if timestamp_arrays is not None:
+            timestamp_arrays.append(np.sort(rng.uniform(0, 20.0, size=count)))
+    return ObjectCollection.from_point_arrays(point_arrays, timestamp_arrays)
+
+
+@pytest.fixture
+def small_collection() -> ObjectCollection:
+    """Four hand-built 2-D objects with known interactions at r = 1.5.
+
+    Layout: o0 and o1 overlap; o2 touches o1 only at its closest point
+    (distance exactly 1.0); o3 is far from everything.
+    """
+    return ObjectCollection.from_point_arrays(
+        [
+            np.array([[0.0, 0.0], [1.0, 0.0]]),
+            np.array([[1.5, 0.0], [2.5, 0.0]]),
+            np.array([[3.5, 0.0], [5.0, 0.0]]),
+            np.array([[100.0, 100.0], [101.0, 100.0]]),
+        ]
+    )
+
+
+@pytest.fixture
+def clustered_collection() -> ObjectCollection:
+    return random_collection(n=40, mean_points=8, seed=11)
+
+
+@pytest.fixture
+def clustered_collection_3d() -> ObjectCollection:
+    return random_collection(n=30, mean_points=8, dimension=3, seed=13)

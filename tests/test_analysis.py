@@ -1,0 +1,99 @@
+"""Tests for the interaction-analysis layer."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.analysis import (
+    all_scores,
+    interacting_partners,
+    interaction_graph,
+    score_histogram,
+)
+from repro.core.engine import MIOEngine
+
+from conftest import oracle_scores, random_collection
+
+
+def oracle_partners(collection, r, oid):
+    partners = []
+    for other in range(collection.n):
+        if other == oid:
+            continue
+        if np.min(cdist(collection[oid].points, collection[other].points)) <= r:
+            partners.append(other)
+    return partners
+
+
+class TestAllScores:
+    @pytest.mark.parametrize("r", [1.0, 2.5, 5.0])
+    def test_matches_oracle(self, r):
+        collection = random_collection(n=30, mean_points=6, seed=161)
+        assert all_scores(collection, r) == oracle_scores(collection, r)
+
+    def test_max_matches_engine(self):
+        collection = random_collection(n=25, mean_points=5, seed=162)
+        scores = all_scores(collection, 2.0)
+        assert max(scores) == MIOEngine(collection).query(2.0).score
+
+    def test_plain_backend(self):
+        collection = random_collection(n=15, mean_points=4, seed=163)
+        assert all_scores(collection, 2.0, backend="plain") == oracle_scores(
+            collection, 2.0
+        )
+
+
+class TestPartners:
+    @pytest.mark.parametrize("oid", [0, 7, 19])
+    def test_matches_oracle(self, oid):
+        collection = random_collection(n=20, mean_points=5, seed=164)
+        assert interacting_partners(collection, 2.0, oid) == oracle_partners(
+            collection, 2.0, oid
+        )
+
+    def test_symmetry(self):
+        collection = random_collection(n=15, mean_points=4, seed=165)
+        for oid in range(collection.n):
+            for partner in interacting_partners(collection, 2.0, oid):
+                assert oid in interacting_partners(collection, 2.0, partner)
+
+    def test_invalid_oid(self):
+        collection = random_collection(n=5, mean_points=3, seed=166)
+        with pytest.raises(ValueError):
+            interacting_partners(collection, 1.0, 99)
+
+
+class TestInteractionGraph:
+    def test_edges_match_oracle(self):
+        collection = random_collection(n=20, mean_points=5, seed=167)
+        graph = interaction_graph(collection, 2.0)
+        assert graph.number_of_nodes() == collection.n
+        for i in range(collection.n):
+            expected = set(oracle_partners(collection, 2.0, i))
+            assert set(graph.neighbors(i)) == expected
+
+    def test_degrees_are_scores(self):
+        collection = random_collection(n=20, mean_points=5, seed=168)
+        graph = interaction_graph(collection, 2.0)
+        truth = oracle_scores(collection, 2.0)
+        assert [graph.degree(i) for i in range(collection.n)] == truth
+
+    def test_max_degree_node_is_mio_answer_score(self):
+        collection = random_collection(n=25, mean_points=5, seed=169)
+        graph = interaction_graph(collection, 2.0)
+        best = max(dict(graph.degree()).values())
+        assert best == MIOEngine(collection).query(2.0).score
+
+    def test_node_attributes(self):
+        collection = random_collection(n=8, mean_points=4, seed=170)
+        graph = interaction_graph(collection, 1.0)
+        assert graph.nodes[0]["num_points"] == collection[0].num_points
+
+
+class TestScoreHistogram:
+    def test_counts(self):
+        assert score_histogram([0, 1, 1, 3]) == {0: 1, 1: 2, 3: 1}
+
+    def test_sorted_keys(self):
+        histogram = score_histogram([5, 2, 2, 9])
+        assert list(histogram.keys()) == sorted(histogram.keys())

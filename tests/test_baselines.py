@@ -1,0 +1,142 @@
+"""Tests for the competitor algorithms (NL, kd-tree NL, SG, theoretical)."""
+
+import pytest
+
+from repro.baselines import (
+    KDTreeNestedLoop,
+    NestedLoopAlgorithm,
+    SimpleGridAlgorithm,
+    TheoreticalAlgorithm,
+)
+from repro.baselines.nested_loop import brute_force_scores
+
+from conftest import oracle_scores, random_collection
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return random_collection(n=30, mean_points=6, seed=71)
+
+
+@pytest.fixture(scope="module")
+def truth(collection):
+    return {r: oracle_scores(collection, r) for r in (1.0, 2.5, 5.0)}
+
+
+class TestNestedLoop:
+    @pytest.mark.parametrize("r", [1.0, 2.5, 5.0])
+    def test_scores_match_oracle(self, collection, truth, r):
+        assert NestedLoopAlgorithm(collection).scores(r) == truth[r]
+
+    def test_query(self, collection, truth):
+        result = NestedLoopAlgorithm(collection).query(2.5)
+        assert result.algorithm == "nl"
+        assert result.score == max(truth[2.5])
+
+    def test_bbox_filter_same_answers(self, collection, truth):
+        filtered = NestedLoopAlgorithm(collection, use_bbox_filter=True)
+        assert filtered.scores(2.5) == truth[2.5]
+
+    def test_topk(self, collection, truth):
+        result = NestedLoopAlgorithm(collection).query_topk(2.5, 4)
+        assert [s for _, s in result.topk] == sorted(truth[2.5], reverse=True)[:4]
+
+    def test_invalid_r(self, collection):
+        with pytest.raises(ValueError):
+            NestedLoopAlgorithm(collection).scores(0.0)
+        with pytest.raises(ValueError):
+            NestedLoopAlgorithm(collection).query_topk(1.0, 0)
+
+    def test_brute_force_scores_helper(self, collection, truth):
+        assert brute_force_scores(collection, 1.0) == truth[1.0]
+
+
+class TestKDTreeNestedLoop:
+    @pytest.mark.parametrize("r", [1.0, 2.5, 5.0])
+    def test_scores_match_oracle(self, collection, truth, r):
+        assert KDTreeNestedLoop(collection).scores(r) == truth[r]
+
+    def test_query_metadata(self, collection):
+        result = KDTreeNestedLoop(collection).query(2.5)
+        assert result.algorithm == "nl-kdtree"
+        assert result.memory_bytes > 0
+
+    def test_invalid_r(self, collection):
+        with pytest.raises(ValueError):
+            KDTreeNestedLoop(collection).scores(-1.0)
+
+
+class TestSimpleGrid:
+    @pytest.mark.parametrize("r", [1.0, 2.5, 5.0])
+    def test_scores_match_oracle(self, collection, truth, r):
+        assert SimpleGridAlgorithm(collection).scores(r) == truth[r]
+
+    def test_query_metadata(self, collection, truth):
+        result = SimpleGridAlgorithm(collection).query(2.5)
+        assert result.algorithm == "sg"
+        assert result.score == max(truth[2.5])
+        assert result.counters["cells"] > 0
+        assert result.memory_bytes > 0
+        assert "build" in result.phases and "scoring" in result.phases
+
+    def test_invalid_r(self, collection):
+        with pytest.raises(ValueError):
+            SimpleGridAlgorithm(collection).build(0.0)
+
+    def test_memory_shrinks_with_larger_r(self, collection):
+        small_r = SimpleGridAlgorithm(collection)
+        small_r.build(0.5)
+        large_r = SimpleGridAlgorithm(collection)
+        large_r.build(8.0)
+        assert large_r.memory_bytes() < small_r.memory_bytes()
+
+
+class TestTheoretical:
+    def test_scores_match_oracle_after_preprocessing(self, collection, truth):
+        algorithm = TheoreticalAlgorithm(collection)
+        algorithm.preprocess()
+        for r in (1.0, 2.5, 5.0):
+            assert algorithm.scores(r) == truth[r]
+
+    def test_query_before_preprocess_raises(self, collection):
+        with pytest.raises(RuntimeError):
+            TheoreticalAlgorithm(collection).scores(1.0)
+
+    def test_budget_guard(self, collection):
+        algorithm = TheoreticalAlgorithm(collection)
+        with pytest.raises(RuntimeError, match="budget"):
+            algorithm.preprocess(budget_pairs=10)
+
+    def test_quadratic_memory(self, collection):
+        algorithm = TheoreticalAlgorithm(collection)
+        algorithm.preprocess()
+        n = collection.n
+        assert algorithm.memory_bytes() == n * (n - 1) * 8
+
+    def test_queries_are_threshold_independent_structures(self, collection):
+        algorithm = TheoreticalAlgorithm(collection)
+        algorithm.preprocess()
+        first = algorithm.query(1.0)
+        second = algorithm.query(5.0)
+        assert first.algorithm == "theoretical"
+        assert second.score >= first.score
+
+    def test_invalid_r(self, collection):
+        algorithm = TheoreticalAlgorithm(collection)
+        algorithm.preprocess()
+        with pytest.raises(ValueError):
+            algorithm.scores(0.0)
+
+
+class TestCrossAlgorithmAgreement:
+    """Definition 1 fixes the max score; every algorithm must agree on it."""
+
+    @pytest.mark.parametrize("r", [1.0, 2.5, 5.0])
+    def test_all_max_scores_agree(self, collection, truth, r):
+        expected = max(truth[r])
+        assert NestedLoopAlgorithm(collection).query(r).score == expected
+        assert KDTreeNestedLoop(collection).query(r).score == expected
+        assert SimpleGridAlgorithm(collection).query(r).score == expected
+        theoretical = TheoreticalAlgorithm(collection)
+        theoretical.preprocess()
+        assert theoretical.query(r).score == expected

@@ -1,0 +1,121 @@
+"""Unit tests for BIGrid construction (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objects import ObjectCollection
+from repro.grid.bigrid import BIGrid
+from repro.grid.keys import compute_keys, large_cell_width, small_cell_width
+
+from conftest import random_collection
+
+
+class TestBuild:
+    def test_every_point_is_mapped_once(self, clustered_collection):
+        bigrid = BIGrid.build(clustered_collection, r=2.0)
+        assert bigrid.mapped_points == clustered_collection.total_points
+        # Each object's groups partition its point indices.
+        for oid in range(clustered_collection.n):
+            indices = sorted(
+                index
+                for points in bigrid.object_groups[oid].values()
+                for index in points
+            )
+            assert indices == list(range(clustered_collection[oid].num_points))
+
+    def test_posting_lists_match_groups(self, clustered_collection):
+        bigrid = BIGrid.build(clustered_collection, r=2.0)
+        for oid in range(clustered_collection.n):
+            for key, points in bigrid.object_groups[oid].items():
+                assert bigrid.large_grid.cells[key].postings[oid] == points
+
+    def test_no_empty_cells(self, clustered_collection):
+        bigrid = BIGrid.build(clustered_collection, r=2.0)
+        for cell in bigrid.small_grid.cells.values():
+            assert cell.distinct_objects >= 1
+        for cell in bigrid.large_grid.cells.values():
+            assert cell.postings
+
+    def test_key_lists_only_contain_shared_cells(self, clustered_collection):
+        bigrid = BIGrid.build(clustered_collection, r=2.0)
+        for oid, keys in enumerate(bigrid.key_lists):
+            for key in keys:
+                cell = bigrid.small_grid.cells[key]
+                assert cell.distinct_objects >= 2
+                assert cell.bitset.get(oid)
+
+    def test_key_lists_cover_all_shared_cells(self, clustered_collection):
+        bigrid = BIGrid.build(clustered_collection, r=2.0)
+        for key, cell in bigrid.small_grid.cells.items():
+            if cell.distinct_objects >= 2:
+                members = list(cell.bitset.iter_set_bits())
+                for oid in members:
+                    assert key in bigrid.key_lists[oid]
+
+    def test_widths_follow_definitions(self, clustered_collection):
+        r = 3.3
+        bigrid = BIGrid.build(clustered_collection, r=r)
+        assert bigrid.small_grid.width == pytest.approx(
+            small_cell_width(r, clustered_collection.dimension)
+        )
+        assert bigrid.large_grid.width == large_cell_width(r)
+
+    def test_width_overrides_for_offline_ablation(self, clustered_collection):
+        bigrid = BIGrid.build(clustered_collection, r=2.0, small_width=0.5, large_width=7.0)
+        assert bigrid.small_grid.width == 0.5
+        assert bigrid.large_grid.width == 7.0
+
+    def test_bitset_bits_match_cell_contents(self, clustered_collection):
+        bigrid = BIGrid.build(clustered_collection, r=2.0)
+        width = bigrid.large_grid.width
+        for obj in clustered_collection:
+            for key in compute_keys(obj.points, width):
+                assert bigrid.large_grid.cells[key].bitset.get(obj.oid)
+
+    def test_plain_backend(self, clustered_collection):
+        bigrid = BIGrid.build(clustered_collection, r=2.0, backend="plain")
+        assert type(bigrid.small_grid.bitset_cls()).__name__ == "PlainBitset"
+
+    def test_unknown_backend_rejected(self, clustered_collection):
+        with pytest.raises(ValueError):
+            BIGrid.build(clustered_collection, r=2.0, backend="nope")
+
+
+class TestPointFilter:
+    def test_filter_skips_points(self):
+        collection = random_collection(n=10, mean_points=6, seed=3)
+
+        def keep_even(oid):
+            count = collection[oid].num_points
+            mask = np.zeros(count, dtype=bool)
+            mask[::2] = True
+            return mask
+
+        bigrid = BIGrid.build(collection, r=2.0, point_filter=keep_even)
+        expected = sum((obj.num_points + 1) // 2 for obj in collection)
+        assert bigrid.mapped_points == expected
+
+    def test_filter_none_mask_means_all(self, clustered_collection):
+        bigrid = BIGrid.build(clustered_collection, r=2.0, point_filter=lambda oid: None)
+        assert bigrid.mapped_points == clustered_collection.total_points
+
+    def test_filter_can_skip_whole_object(self):
+        collection = random_collection(n=5, mean_points=4, seed=4)
+
+        def drop_object_zero(oid):
+            count = collection[oid].num_points
+            return np.zeros(count, dtype=bool) if oid == 0 else np.ones(count, dtype=bool)
+
+        bigrid = BIGrid.build(collection, r=2.0, point_filter=drop_object_zero)
+        assert not bigrid.object_groups[0]
+        assert bigrid.mapped_points == collection.total_points - collection[0].num_points
+
+
+class TestMemory:
+    def test_memory_positive_and_monotone_in_points(self):
+        small = random_collection(n=10, mean_points=4, seed=1)
+        large = random_collection(n=10, mean_points=20, seed=1)
+        assert 0 < BIGrid.build(small, r=2.0).memory_bytes() < BIGrid.build(large, r=2.0).memory_bytes()
+
+    def test_repr(self, clustered_collection):
+        assert "BIGrid(r=2.0" in repr(BIGrid.build(clustered_collection, r=2.0))

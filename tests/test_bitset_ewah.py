@@ -1,0 +1,223 @@
+"""Unit tests for the EWAH compressed bitset."""
+
+import pytest
+
+from repro.bitset.ewah import _ALL, EWAHBitset, union_all
+from repro.bitset.plain import PlainBitset
+
+
+class TestConstruction:
+    def test_empty(self):
+        bitset = EWAHBitset()
+        assert bitset.cardinality() == 0
+        assert bitset.to_int() == 0
+        assert bitset.is_empty()
+        assert not bitset
+
+    def test_from_indices(self):
+        bitset = EWAHBitset.from_indices([3, 1, 4, 1, 5])
+        assert list(bitset.iter_set_bits()) == [1, 3, 4, 5]
+        assert bitset.cardinality() == 4
+
+    def test_from_int_round_trip(self):
+        value = 0b1011_0001_0000_0000_0000_0001
+        assert EWAHBitset.from_int(value).to_int() == value
+
+    def test_from_int_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EWAHBitset.from_int(-1)
+
+    def test_from_int_multi_word(self):
+        value = (1 << 200) | (1 << 64) | 1
+        bitset = EWAHBitset.from_int(value)
+        assert list(bitset.iter_set_bits()) == [0, 64, 200]
+
+    def test_copy_is_independent(self):
+        original = EWAHBitset.from_indices([1, 2])
+        clone = original.copy()
+        clone.set(700)
+        assert original.cardinality() == 2
+        assert clone.cardinality() == 3
+
+
+class TestSetGet:
+    def test_append_in_order(self):
+        bitset = EWAHBitset()
+        for index in (0, 5, 63, 64, 500):
+            bitset.set(index)
+        assert list(bitset.iter_set_bits()) == [0, 5, 63, 64, 500]
+
+    def test_set_is_idempotent(self):
+        bitset = EWAHBitset()
+        bitset.set(10)
+        bitset.set(10)
+        assert bitset.cardinality() == 1
+
+    def test_set_earlier_bit_rebuild_path(self):
+        bitset = EWAHBitset()
+        bitset.set(300)
+        bitset.set(2)  # slow path: earlier word
+        assert list(bitset.iter_set_bits()) == [2, 300]
+        assert bitset.cardinality() == 2
+
+    def test_set_same_word_as_last(self):
+        bitset = EWAHBitset()
+        bitset.set(64)
+        bitset.set(70)  # same word, later offset: handled by rebuild-or-append
+        assert list(bitset.iter_set_bits()) == [64, 70]
+
+    def test_negative_index_rejected(self):
+        bitset = EWAHBitset()
+        with pytest.raises(ValueError):
+            bitset.set(-1)
+        with pytest.raises(ValueError):
+            bitset.get(-3)
+
+    def test_get(self):
+        bitset = EWAHBitset.from_indices([0, 100, 129])
+        assert bitset.get(0)
+        assert bitset.get(100)
+        assert bitset.get(129)
+        assert not bitset.get(1)
+        assert not bitset.get(128)
+        assert not bitset.get(10_000)
+
+    def test_contains_operator(self):
+        bitset = EWAHBitset.from_indices([7])
+        assert 7 in bitset
+        assert 8 not in bitset
+
+
+class TestCompression:
+    def test_sparse_run_compresses(self):
+        bitset = EWAHBitset.from_indices([0, 64 * 100])
+        # 101 uncompressed words vs: marker+dirty, marker(run)+dirty.
+        assert bitset.uncompressed_word_count() == 101
+        assert bitset.word_count() <= 4
+        assert bitset.compression_ratio() > 0.9
+
+    def test_dense_run_compresses(self):
+        bitset = EWAHBitset.from_int((1 << (64 * 50)) - 1)
+        assert bitset.cardinality() == 64 * 50
+        assert bitset.word_count() <= 2
+
+    def test_incompressible_literals(self):
+        # Alternating bits make every word dirty.
+        value = int("01" * 32 * 8, 2)
+        bitset = EWAHBitset.from_int(value)
+        assert bitset.word_count() >= bitset.uncompressed_word_count()
+
+    def test_size_in_bytes_is_word_count(self):
+        bitset = EWAHBitset.from_indices([1, 2, 3])
+        assert bitset.size_in_bytes() == 8 * bitset.word_count()
+
+    def test_empty_compression_ratio(self):
+        assert EWAHBitset().compression_ratio() == 0.0
+
+
+class TestBinaryOperations:
+    def test_or(self):
+        a = EWAHBitset.from_indices([1, 100])
+        b = EWAHBitset.from_indices([2, 100, 300])
+        assert list((a | b).iter_set_bits()) == [1, 2, 100, 300]
+
+    def test_and(self):
+        a = EWAHBitset.from_indices([1, 2, 3, 200])
+        b = EWAHBitset.from_indices([2, 200, 201])
+        assert list((a & b).iter_set_bits()) == [2, 200]
+
+    def test_andnot(self):
+        a = EWAHBitset.from_indices([1, 2, 3])
+        b = EWAHBitset.from_indices([2])
+        assert list((a - b).iter_set_bits()) == [1, 3]
+
+    def test_xor(self):
+        a = EWAHBitset.from_indices([1, 2])
+        b = EWAHBitset.from_indices([2, 3])
+        assert list((a ^ b).iter_set_bits()) == [1, 3]
+
+    def test_ops_with_empty(self):
+        a = EWAHBitset.from_indices([5, 700])
+        empty = EWAHBitset()
+        assert (a | empty) == a
+        assert (a & empty).is_empty()
+        assert (a - empty) == a
+        assert (empty - a).is_empty()
+
+    def test_different_lengths(self):
+        short = EWAHBitset.from_indices([0])
+        long = EWAHBitset.from_indices([0, 64 * 20])
+        assert (short | long).cardinality() == 2
+        assert (short - long).is_empty()
+        assert (long - short).cardinality() == 1
+
+    def test_mixed_backend_operand(self):
+        ewah = EWAHBitset.from_indices([1, 2])
+        plain = PlainBitset.from_indices([2, 3])
+        result = ewah.or_(plain)
+        assert isinstance(result, EWAHBitset)
+        assert list(result.iter_set_bits()) == [1, 2, 3]
+
+    def test_result_trailing_zeros_trimmed(self):
+        a = EWAHBitset.from_indices([1000])
+        result = a - a
+        assert result.is_empty()
+        assert result.word_count() == 0
+        assert result.uncompressed_word_count() == 0
+
+    def test_union_all(self):
+        parts = [EWAHBitset.from_indices([i]) for i in (3, 1, 2)]
+        assert list(union_all(parts).iter_set_bits()) == [1, 2, 3]
+        assert union_all([]).is_empty()
+
+
+class TestEqualityAndHash:
+    def test_equality_across_backends(self):
+        assert EWAHBitset.from_indices([1, 5]) == PlainBitset.from_indices([1, 5])
+        assert EWAHBitset.from_indices([1]) != PlainBitset.from_indices([2])
+
+    def test_hash_consistency(self):
+        a = EWAHBitset.from_indices([4, 9])
+        b = EWAHBitset.from_indices([4, 9])
+        assert hash(a) == hash(b)
+
+    def test_repr_preview(self):
+        text = repr(EWAHBitset.from_indices(range(12)))
+        assert text.startswith("EWAHBitset(")
+        assert "..." in text
+
+
+class TestSerialization:
+    def test_round_trip_simple(self):
+        bitset = EWAHBitset.from_indices([0, 3, 64, 200, 1000])
+        assert EWAHBitset.deserialize(bitset.serialize()) == bitset
+
+    def test_round_trip_empty(self):
+        assert EWAHBitset.deserialize(EWAHBitset().serialize()).is_empty()
+
+    def test_round_trip_dense(self):
+        bitset = EWAHBitset.from_int((1 << 640) - 1)
+        assert EWAHBitset.deserialize(bitset.serialize()) == bitset
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            EWAHBitset.deserialize(b"abc")
+
+    def test_serialized_words_are_8_bytes(self):
+        data = EWAHBitset.from_indices([1, 2, 3]).serialize()
+        assert len(data) % 8 == 0
+        assert len(data) > 0
+
+
+class TestWordBoundaries:
+    @pytest.mark.parametrize("index", [0, 63, 64, 65, 127, 128, 4095, 4096])
+    def test_single_bit_positions(self, index):
+        bitset = EWAHBitset.from_indices([index])
+        assert bitset.get(index)
+        assert bitset.cardinality() == 1
+        assert bitset.to_int() == 1 << index
+
+    def test_full_word_literal_becomes_run(self):
+        bitset = EWAHBitset.from_int(_ALL)
+        assert bitset.cardinality() == 64
+        assert bitset.word_count() == 1  # one marker, zero dirty words

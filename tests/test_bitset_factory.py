@@ -1,0 +1,30 @@
+"""Tests for bitset backend selection."""
+
+import pytest
+
+from repro.bitset import EWAHBitset, PlainBitset, available_backends, bitset_class
+
+
+def test_available_backends():
+    assert set(available_backends()) == {"ewah", "plain", "roaring"}
+
+
+def test_resolution():
+    from repro.bitset import RoaringBitset
+
+    assert bitset_class("ewah") is EWAHBitset
+    assert bitset_class("plain") is PlainBitset
+    assert bitset_class("roaring") is RoaringBitset
+
+
+def test_unknown_backend_lists_options():
+    with pytest.raises(ValueError, match="ewah"):
+        bitset_class("wah64")
+
+
+def test_backends_share_interface():
+    for name in available_backends():
+        bitset = bitset_class(name).from_indices([2, 5])
+        assert bitset.cardinality() == 2
+        assert list(bitset.iter_set_bits()) == [2, 5]
+        assert bitset.size_in_bytes() > 0

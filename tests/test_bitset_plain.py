@@ -1,0 +1,67 @@
+"""Unit tests for the uncompressed (big-int) bitset."""
+
+import pytest
+
+from repro.bitset.plain import PlainBitset
+
+
+class TestBasics:
+    def test_empty(self):
+        bitset = PlainBitset()
+        assert bitset.cardinality() == 0
+        assert bitset.to_int() == 0
+
+    def test_set_get(self):
+        bitset = PlainBitset()
+        bitset.set(0)
+        bitset.set(77)
+        assert bitset.get(0) and bitset.get(77)
+        assert not bitset.get(1)
+        assert bitset.cardinality() == 2
+
+    def test_set_any_order(self):
+        bitset = PlainBitset()
+        for index in (500, 2, 99, 2):
+            bitset.set(index)
+        assert list(bitset.iter_set_bits()) == [2, 99, 500]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PlainBitset(-1)
+        with pytest.raises(ValueError):
+            PlainBitset().set(-1)
+        with pytest.raises(ValueError):
+            PlainBitset().get(-1)
+
+    def test_copy_independent(self):
+        original = PlainBitset.from_indices([1])
+        clone = original.copy()
+        clone.set(2)
+        assert original.cardinality() == 1
+
+
+class TestOperations:
+    def test_or_and_andnot_xor(self):
+        a = PlainBitset.from_indices([1, 2, 3])
+        b = PlainBitset.from_indices([3, 4])
+        assert list((a | b).iter_set_bits()) == [1, 2, 3, 4]
+        assert list((a & b).iter_set_bits()) == [3]
+        assert list((a - b).iter_set_bits()) == [1, 2]
+        assert list((a ^ b).iter_set_bits()) == [1, 2, 4]
+
+    def test_andnot_never_negative(self):
+        a = PlainBitset.from_indices([1])
+        b = PlainBitset.from_indices([1, 2, 3])
+        assert (a - b).to_int() == 0
+
+
+class TestSizeAccounting:
+    def test_size_is_whole_words(self):
+        assert PlainBitset().size_in_bytes() == 0
+        assert PlainBitset.from_indices([0]).size_in_bytes() == 8
+        assert PlainBitset.from_indices([63]).size_in_bytes() == 8
+        assert PlainBitset.from_indices([64]).size_in_bytes() == 16
+
+    def test_uncompressed_grows_with_highest_bit(self):
+        sparse = PlainBitset.from_indices([64 * 100])
+        assert sparse.size_in_bytes() == 8 * 101

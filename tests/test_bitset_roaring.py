@@ -1,0 +1,134 @@
+"""Unit and property tests for the Roaring-style chunked bitmap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitset.plain import PlainBitset
+from repro.bitset.roaring import (
+    ARRAY,
+    ARRAY_LIMIT,
+    BITMAP,
+    CHUNK_SIZE,
+    RUN,
+    RoaringBitset,
+)
+
+
+class TestContainers:
+    def test_sparse_chunk_uses_array(self):
+        bitset = RoaringBitset.from_indices([1, 5, 100])
+        assert bitset.container_kinds()[ARRAY] == 1
+
+    def test_dense_irregular_chunk_uses_bitmap(self):
+        bitset = RoaringBitset.from_indices(range(0, CHUNK_SIZE, 2))
+        assert bitset.container_kinds()[BITMAP] == 1
+
+    def test_contiguous_chunk_uses_run(self):
+        bitset = RoaringBitset.from_int((1 << 50_000) - 1)
+        assert bitset.container_kinds()[RUN] == 1
+        assert bitset.size_in_bytes() < 32  # one run, tiny
+
+    def test_array_limit_boundary(self):
+        # Exactly ARRAY_LIMIT scattered values still fit an array container
+        # (2 bytes each beats the 8 KiB bitmap).
+        values = list(range(0, ARRAY_LIMIT * 16, 16))[:ARRAY_LIMIT]
+        bitset = RoaringBitset.from_indices(values)
+        assert bitset.container_kinds()[ARRAY] == 1
+
+    def test_multiple_chunks(self):
+        bitset = RoaringBitset.from_indices([0, CHUNK_SIZE, 5 * CHUNK_SIZE + 7])
+        assert sum(bitset.container_kinds().values()) == 3
+        assert list(bitset.iter_set_bits()) == [0, CHUNK_SIZE, 5 * CHUNK_SIZE + 7]
+
+
+class TestBasics:
+    def test_set_get_cardinality(self):
+        bitset = RoaringBitset()
+        bitset.set(3)
+        bitset.set(70_000)
+        bitset.set(3)  # idempotent
+        assert bitset.get(3) and bitset.get(70_000)
+        assert not bitset.get(4)
+        assert bitset.cardinality() == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RoaringBitset().set(-1)
+        with pytest.raises(ValueError):
+            RoaringBitset().get(-1)
+        with pytest.raises(ValueError):
+            RoaringBitset.from_int(-1)
+        with pytest.raises(ValueError):
+            RoaringBitset.from_indices([-5])
+
+    def test_copy_independent(self):
+        original = RoaringBitset.from_indices([1])
+        clone = original.copy()
+        clone.set(2)
+        assert original.cardinality() == 1
+
+    def test_int_round_trip(self):
+        value = (1 << 100_000) | (1 << 70_000) | 0b1011
+        assert RoaringBitset.from_int(value).to_int() == value
+
+
+class TestOperations:
+    def test_cross_chunk_ops(self):
+        a = RoaringBitset.from_indices([1, CHUNK_SIZE + 1])
+        b = RoaringBitset.from_indices([CHUNK_SIZE + 1, 2 * CHUNK_SIZE])
+        assert list((a | b).iter_set_bits()) == [1, CHUNK_SIZE + 1, 2 * CHUNK_SIZE]
+        assert list((a & b).iter_set_bits()) == [CHUNK_SIZE + 1]
+        assert list((a - b).iter_set_bits()) == [1]
+        assert list((a ^ b).iter_set_bits()) == [1, 2 * CHUNK_SIZE]
+
+    def test_empty_containers_dropped(self):
+        a = RoaringBitset.from_indices([10])
+        result = a - a
+        assert result.is_empty()
+        assert result.size_in_bytes() == 0
+
+    def test_mixed_backend_operand(self):
+        roaring = RoaringBitset.from_indices([1, 2])
+        plain = PlainBitset.from_indices([2, 3])
+        assert list(roaring.or_(plain).iter_set_bits()) == [1, 2, 3]
+
+
+bit_sets = st.sets(st.integers(min_value=0, max_value=300_000), max_size=80)
+
+
+@given(bit_sets, bit_sets)
+def test_roaring_matches_plain_semantics(xs, ys):
+    a, b = RoaringBitset.from_indices(xs), RoaringBitset.from_indices(ys)
+    pa, pb = PlainBitset.from_indices(xs), PlainBitset.from_indices(ys)
+    assert (a | b).to_int() == (pa | pb).to_int()
+    assert (a & b).to_int() == (pa & pb).to_int()
+    assert (a - b).to_int() == (pa - pb).to_int()
+    assert (a ^ b).to_int() == (pa ^ pb).to_int()
+
+
+@given(bit_sets)
+def test_roaring_round_trips(xs):
+    bitset = RoaringBitset.from_indices(xs)
+    assert list(bitset.iter_set_bits()) == sorted(xs)
+    assert bitset.cardinality() == len(xs)
+    assert RoaringBitset.from_int(bitset.to_int()) == bitset
+
+
+@given(bit_sets, st.integers(min_value=0, max_value=300_000))
+def test_roaring_set_matches_plain(xs, extra):
+    bitset = RoaringBitset.from_indices(xs)
+    bitset.set(extra)
+    assert list(bitset.iter_set_bits()) == sorted(xs | {extra})
+
+
+class TestEngineIntegration:
+    def test_engine_with_roaring_backend(self):
+        from repro.core.engine import MIOEngine
+
+        from conftest import oracle_scores, random_collection
+
+        collection = random_collection(n=25, mean_points=6, seed=151)
+        for r in (1.0, 3.0):
+            truth = max(oracle_scores(collection, r))
+            assert MIOEngine(collection, backend="roaring").query(r).score == truth

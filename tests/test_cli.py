@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import save_collection
+from repro.datasets.trajectories import make_trajectories
+
+from conftest import random_collection
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    path = tmp_path / "data.npz"
+    save_collection(path, random_collection(n=25, mean_points=5, seed=121))
+    return str(path)
+
+
+@pytest.fixture
+def temporal_file(tmp_path):
+    path = tmp_path / "temporal.npz"
+    save_collection(path, make_trajectories(n=20, points_per_trajectory=8, seed=3))
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "gen.npz"
+        code = main(["generate", "bird-2", "--scale", "0.05", "-o", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "mars", "-o", str(tmp_path / "x.npz")])
+
+
+class TestStats:
+    def test_stats_prints_table(self, dataset_file, capsys):
+        assert main(["stats", dataset_file]) == 0
+        out = capsys.readouterr().out
+        assert "statistic" in out
+        assert "nm" in out
+
+
+class TestQuery:
+    def test_basic_query(self, dataset_file, capsys):
+        assert main(["query", dataset_file, "-r", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out and "bigrid" in out
+
+    def test_topk_query(self, dataset_file, capsys):
+        assert main(["query", dataset_file, "-r", "2.0", "--topk", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out and "#3:" in out
+
+    def test_temporal_query(self, temporal_file, capsys):
+        assert main(["query", temporal_file, "-r", "3.0", "--delta", "2.0"]) == 0
+        assert "bigrid-temporal" in capsys.readouterr().out
+
+    def test_temporal_topk_conflict(self, temporal_file, capsys):
+        code = main(["query", temporal_file, "-r", "3.0", "--delta", "2.0", "--topk", "3"])
+        assert code == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_sampled_query(self, dataset_file, capsys):
+        assert main(["query", dataset_file, "-r", "2.0", "--sample", "0.5"]) == 0
+
+    def test_plain_backend(self, dataset_file):
+        assert main(["query", dataset_file, "-r", "2.0", "--backend", "plain"]) == 0
+
+
+class TestCompare:
+    def test_compare_agreement(self, dataset_file, capsys):
+        assert main(["compare", dataset_file, "-r", "2.0"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nl", "sg", "bigrid"):
+            assert name in out
+
+    def test_compare_subset(self, dataset_file, capsys):
+        code = main(
+            ["compare", dataset_file, "-r", "2.0", "--algorithms", "bigrid", "nl-kdtree"]
+        )
+        assert code == 0
+        assert "nl-kdtree" in capsys.readouterr().out
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self, dataset_file):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", dataset_file],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "statistic" in proc.stdout

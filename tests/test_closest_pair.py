@@ -1,0 +1,44 @@
+"""Unit tests for cross-set closest point pair computation."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.spatial.closest_pair import (
+    closest_pair_distance,
+    closest_pair_distance_with_tree,
+)
+from repro.spatial.kdtree import KDTree
+
+
+class TestClosestPair:
+    @pytest.mark.parametrize("sizes", [(1, 1), (5, 300), (300, 5), (200, 200)])
+    def test_matches_brute_force(self, sizes):
+        rng = np.random.default_rng(sum(sizes))
+        a = rng.uniform(0, 100, size=(sizes[0], 3))
+        b = rng.uniform(0, 100, size=(sizes[1], 3))
+        expected = float(np.min(cdist(a, b)))
+        assert closest_pair_distance(a, b) == pytest.approx(expected, abs=1e-9)
+
+    def test_empty_sets(self):
+        assert closest_pair_distance(np.empty((0, 2)), np.ones((2, 2))) == np.inf
+        assert closest_pair_distance(np.ones((2, 2)), np.empty((0, 2))) == np.inf
+
+    def test_touching_sets(self):
+        shared = np.array([[1.0, 1.0]])
+        a = np.vstack([shared, np.array([[50.0, 50.0]])])
+        b = np.vstack([np.array([[30.0, 10.0]]), shared])
+        assert closest_pair_distance(a, b) == 0.0
+
+    def test_with_prebuilt_tree(self):
+        rng = np.random.default_rng(9)
+        a = rng.uniform(0, 50, size=(40, 2))
+        b = rng.uniform(0, 50, size=(200, 2))
+        tree = KDTree(b)
+        expected = float(np.min(cdist(a, b)))
+        assert closest_pair_distance_with_tree(a, tree) == pytest.approx(expected, abs=1e-9)
+
+    def test_zero_distance_early_exit(self):
+        b = np.array([[0.0, 0.0], [9.0, 9.0]])
+        a = np.vstack([np.array([[0.0, 0.0]]), np.full((500, 2), 100.0)])
+        assert closest_pair_distance_with_tree(a, KDTree(b)) == 0.0

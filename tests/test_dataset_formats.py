@@ -1,0 +1,183 @@
+"""Tests for SWC morphology files and trajectory segmentation/CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.neurons import make_neurons
+from repro.datasets.segmentation import (
+    read_tracks_csv,
+    segment_trajectories,
+    split_trajectory,
+    write_tracks_csv,
+)
+from repro.datasets.swc import (
+    export_collection_to_swc,
+    load_neurons_from_swc,
+    read_swc,
+    write_swc,
+)
+
+
+class TestSWC:
+    def test_round_trip(self, tmp_path):
+        points = np.array([[1.0, 2.0, 3.0], [4.5, 5.5, 6.5], [-1.0, 0.0, 2.25]])
+        path = tmp_path / "cell.swc"
+        write_swc(path, points, comment="test cell")
+        loaded = read_swc(path)
+        assert np.allclose(loaded, points)
+
+    def test_read_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "cell.swc"
+        path.write_text(
+            "# a NeuroMorpho-style header\n"
+            "\n"
+            "1 1 0.0 0.0 0.0 1.0 -1\n"
+            "2 3 1.0 2.0 3.0 0.5 1\n"
+        )
+        assert read_swc(path).tolist() == [[0.0, 0.0, 0.0], [1.0, 2.0, 3.0]]
+
+    def test_read_rejects_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.swc"
+        path.write_text("1 1 0.0 0.0 0.0 1.0\n")
+        with pytest.raises(ValueError, match="7 fields"):
+            read_swc(path)
+
+    def test_read_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.swc"
+        path.write_text("1 1 x y z 1.0 -1\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_swc(path)
+
+    def test_read_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.swc"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError, match="no sample points"):
+            read_swc(path)
+
+    def test_write_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_swc(tmp_path / "x.swc", np.zeros((2, 2)))
+
+    def test_collection_export_import(self, tmp_path):
+        collection = make_neurons(n=4, mean_points=12, extent=50.0, seed=5)
+        paths = export_collection_to_swc(tmp_path, collection)
+        assert len(paths) == 4
+        loaded = load_neurons_from_swc(paths)
+        assert loaded.n == 4
+        for original, restored in zip(collection, loaded):
+            assert np.allclose(original.points, restored.points, atol=1e-6)
+
+    def test_export_rejects_2d(self, tmp_path):
+        from repro.core.objects import ObjectCollection
+
+        collection = ObjectCollection.from_point_arrays([np.zeros((2, 2))])
+        with pytest.raises(ValueError, match="3-D"):
+            export_collection_to_swc(tmp_path, collection)
+
+
+class TestSplitTrajectory:
+    def test_balanced_split(self):
+        points = np.zeros((104, 2))
+        segments = split_trajectory(points, segment_length=50)
+        lengths = [len(segment_points) for segment_points, _ in segments]
+        assert sum(lengths) == 104
+        assert lengths == [52, 52]
+
+    def test_short_track_kept_whole(self):
+        points = np.zeros((7, 2))
+        segments = split_trajectory(points, segment_length=50)
+        assert len(segments) == 1
+        assert len(segments[0][0]) == 7
+
+    def test_timestamps_split_alongside(self):
+        points = np.zeros((10, 2))
+        times = np.arange(10.0)
+        segments = split_trajectory(points, times, segment_length=5)
+        assert [list(t) for _p, t in segments] == [list(range(5)), list(range(5, 10))]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_trajectory(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            split_trajectory(np.zeros((5, 2)), segment_length=1, min_length=2)
+
+    def test_approximate_length(self):
+        points = np.zeros((487, 2))
+        segments = split_trajectory(points, segment_length=50)
+        lengths = [len(p) for p, _ in segments]
+        assert sum(lengths) == 487
+        assert all(40 <= length <= 60 for length in lengths)
+
+
+class TestSegmentTrajectories:
+    def test_collection_shape(self):
+        rng = np.random.default_rng(1)
+        tracks = [
+            (rng.uniform(0, 10, size=(120, 2)), np.arange(120.0)),
+            (rng.uniform(0, 10, size=(60, 2)), np.arange(60.0)),
+        ]
+        collection = segment_trajectories(tracks, segment_length=30)
+        assert collection.n == 6  # 4 + 2 segments
+        assert collection.has_timestamps()
+        assert collection.total_points == 180
+
+    def test_tracks_without_timestamps(self):
+        tracks = [(np.zeros((40, 2)), None)]
+        collection = segment_trajectories(tracks, segment_length=20)
+        assert collection.n == 2
+        assert not collection.has_timestamps()
+
+
+class TestTracksCSV:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(2)
+        tracks = [
+            (rng.uniform(0, 100, size=(8, 2)), np.arange(8.0)),
+            (rng.uniform(0, 100, size=(5, 2)), np.arange(5.0) * 2.0),
+        ]
+        path = tmp_path / "tracks.csv"
+        write_tracks_csv(path, tracks)
+        loaded = read_tracks_csv(path)
+        assert len(loaded) == 2
+        for (points, times), (loaded_points, loaded_times) in zip(tracks, loaded):
+            assert np.allclose(points, loaded_points)
+            assert np.allclose(times, loaded_times)
+
+    def test_rows_sorted_by_time_within_individual(self, tmp_path):
+        path = tmp_path / "tracks.csv"
+        path.write_text(
+            "individual,t,x,y\n"
+            "a,2.0,20.0,0.0\n"
+            "a,1.0,10.0,0.0\n"
+            "b,1.0,99.0,0.0\n"
+            "a,3.0,30.0,0.0\n"
+        )
+        tracks = read_tracks_csv(path)
+        assert len(tracks) == 2
+        assert tracks[0][0][:, 0].tolist() == [10.0, 20.0, 30.0]
+
+    def test_3d_tracks(self, tmp_path):
+        path = tmp_path / "tracks.csv"
+        path.write_text("individual,t,x,y,z\na,0.0,1.0,2.0,3.0\na,1.0,2.0,3.0,4.0\n")
+        tracks = read_tracks_csv(path)
+        assert tracks[0][0].shape == (2, 3)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "tracks.csv"
+        path.write_text("bird,when,lon,lat\n")
+        with pytest.raises(ValueError, match="header"):
+            read_tracks_csv(path)
+
+    def test_end_to_end_mio_on_csv(self, tmp_path):
+        """CSV -> segmentation -> MIO query: the paper's full Bird pipeline."""
+        from repro.core.engine import MIOEngine
+        from repro.datasets.trajectories import make_trajectories
+
+        source = make_trajectories(n=6, points_per_trajectory=40, seed=8)
+        tracks = [(obj.points, obj.timestamps) for obj in source]
+        path = tmp_path / "movebank.csv"
+        write_tracks_csv(path, tracks)
+        collection = segment_trajectories(read_tracks_csv(path), segment_length=10)
+        assert collection.n == 24
+        result = MIOEngine(collection).query(5.0)
+        assert 0 <= result.score < collection.n

@@ -1,0 +1,238 @@
+"""Tests for the dataset generators, registry, sampling, stats, and I/O."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nested_loop import brute_force_scores
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset_table,
+    default_r_values,
+    describe,
+    load_collection,
+    load_dataset,
+    make_neurons,
+    make_powerlaw,
+    make_trajectories,
+    sample_collection,
+    save_collection,
+    score_distribution_alpha,
+)
+from repro.datasets.io import export_csv, import_csv
+from repro.datasets.stats import interaction_density
+from repro.datasets.trajectories import _zipf_partition
+
+
+class TestNeurons:
+    def test_shapes(self):
+        collection = make_neurons(n=8, mean_points=40, seed=1)
+        assert collection.n == 8
+        assert collection.dimension == 3
+        assert 20 <= collection.mean_points <= 60
+
+    def test_deterministic(self):
+        a = make_neurons(n=4, mean_points=20, seed=5)
+        b = make_neurons(n=4, mean_points=20, seed=5)
+        for obj_a, obj_b in zip(a, b):
+            assert np.array_equal(obj_a.points, obj_b.points)
+
+    def test_different_seeds_differ(self):
+        a = make_neurons(n=4, mean_points=20, seed=1)
+        b = make_neurons(n=4, mean_points=20, seed=2)
+        assert not np.array_equal(a[0].points, b[0].points)
+
+    def test_arbors_are_connected_walks(self):
+        """Consecutive growth keeps points near the arbor, not scattered."""
+        collection = make_neurons(n=3, mean_points=60, extent=100.0, step=2.0, seed=3)
+        for obj in collection:
+            low, high = obj.bounds()
+            # An arbor of ~60 steps of length 2 cannot span the full extent
+            # many times over; it stays a local structure.
+            assert np.max(high - low) < 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_neurons(n=0, mean_points=10)
+        with pytest.raises(ValueError):
+            make_neurons(n=3, mean_points=1)
+
+
+class TestTrajectories:
+    def test_shapes(self):
+        collection = make_trajectories(n=20, points_per_trajectory=15, seed=1)
+        assert collection.n == 20
+        assert collection.dimension == 2
+        assert all(obj.num_points == 15 for obj in collection)
+
+    def test_timestamps_present_by_default(self):
+        collection = make_trajectories(n=5, points_per_trajectory=10, seed=1)
+        assert collection.has_timestamps()
+        assert collection[0].timestamps.tolist() == list(range(10))
+
+    def test_timestamps_can_be_disabled(self):
+        collection = make_trajectories(
+            n=5, points_per_trajectory=10, with_timestamps=False, seed=1
+        )
+        assert not collection.has_timestamps()
+
+    def test_leader_follower_structure(self):
+        """One flock of followers => a hub trajectory with a high score."""
+        collection = make_trajectories(
+            n=30, points_per_trajectory=12, n_flocks=2, offset_scale=3.0, seed=4
+        )
+        scores = brute_force_scores(collection, 6.0)
+        # The best object interacts with a sizable share of the flock.
+        assert max(scores) >= collection.n // 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_trajectories(n=0, points_per_trajectory=5)
+
+
+class TestZipfPartition:
+    def test_sums_to_total(self):
+        rng = np.random.default_rng(0)
+        sizes = _zipf_partition(rng, 100, 7, 1.5)
+        assert int(sizes.sum()) == 100
+        assert all(size >= 1 for size in sizes)
+
+    def test_more_parts_than_total(self):
+        rng = np.random.default_rng(0)
+        sizes = _zipf_partition(rng, 3, 10, 1.5)
+        assert int(sizes.sum()) == 3
+        assert len(sizes) == 3
+
+    def test_skew_increases_with_exponent(self):
+        rng = np.random.default_rng(0)
+        flat = _zipf_partition(rng, 1000, 10, 0.2)
+        skewed = _zipf_partition(np.random.default_rng(0), 1000, 10, 2.5)
+        assert max(skewed) > max(flat)
+
+
+class TestPowerlaw:
+    def test_shapes(self):
+        collection = make_powerlaw(n=40, mean_points=8, seed=1)
+        assert collection.n == 40
+        assert collection.dimension == 3
+
+    def test_score_distribution_is_skewed(self):
+        collection = make_powerlaw(
+            n=80, mean_points=6, extent=800.0, n_communities=12, seed=2
+        )
+        scores = brute_force_scores(collection, 6.0)
+        alpha = score_distribution_alpha(scores)
+        assert alpha > 0.3  # clearly heavier than uniform
+        assert max(scores) > np.median(scores)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_powerlaw(n=0, mean_points=5)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(DATASET_NAMES) == {"neuron", "neuron-2", "bird", "bird-2", "syn"}
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_load_scaled_down(self, name):
+        collection = load_dataset(name, scale=0.05)
+        assert collection.n >= 2
+        assert collection.total_points > 0
+
+    def test_scale_changes_n_not_m(self):
+        small = load_dataset("bird-2", scale=0.1)
+        large = load_dataset("bird-2", scale=0.2)
+        assert large.n > small.n
+        assert abs(large.mean_points - small.mean_points) < 10
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_dataset("mars")
+        with pytest.raises(ValueError):
+            default_r_values("mars")
+
+    def test_r_values_match_paper_sweep(self):
+        values = default_r_values("neuron")
+        assert values[0] == 4.0 and values[-1] == 10.0
+
+    def test_dataset_table_rows(self):
+        rows = dataset_table(scale=0.05)
+        assert len(rows) == 5
+        for row in rows:
+            assert row["nm"] == pytest.approx(row["n"] * row["m"], rel=0.1)
+            assert row["paper_nm"] == row["paper_n"] * row["paper_m"]
+
+
+class TestSampling:
+    def test_rate_one_returns_same(self, clustered_collection):
+        assert sample_collection(clustered_collection, 1.0) is clustered_collection
+
+    def test_sample_size(self, clustered_collection):
+        sampled = sample_collection(clustered_collection, 0.5, seed=1)
+        assert sampled.n == round(0.5 * clustered_collection.n)
+
+    def test_sample_is_subset(self, clustered_collection):
+        sampled = sample_collection(clustered_collection, 0.3, seed=2)
+        originals = {obj.points.tobytes() for obj in clustered_collection}
+        for obj in sampled:
+            assert obj.points.tobytes() in originals
+
+    def test_invalid_rate(self, clustered_collection):
+        with pytest.raises(ValueError):
+            sample_collection(clustered_collection, 0.0)
+        with pytest.raises(ValueError):
+            sample_collection(clustered_collection, 1.5)
+
+
+class TestStats:
+    def test_describe(self, clustered_collection):
+        stats = describe(clustered_collection)
+        assert stats["n"] == clustered_collection.n
+        assert stats["nm"] == clustered_collection.total_points
+        assert stats["m_min"] <= stats["m"] <= stats["m_max"]
+
+    def test_alpha_flat_distribution_is_small(self):
+        assert score_distribution_alpha([5] * 50) == pytest.approx(0.0, abs=1e-9)
+
+    def test_alpha_few_values(self):
+        assert score_distribution_alpha([1]) == 0.0
+        assert score_distribution_alpha([0, 0, 0]) == 0.0
+
+    def test_interaction_density(self):
+        assert interaction_density([1, 1]) == 1.0
+        assert interaction_density([0, 0, 0]) == 0.0
+        assert interaction_density([5]) == 0.0
+
+
+class TestIO:
+    def test_npz_round_trip(self, tmp_path, clustered_collection):
+        path = tmp_path / "data.npz"
+        save_collection(path, clustered_collection)
+        loaded = load_collection(path)
+        assert loaded.n == clustered_collection.n
+        for a, b in zip(loaded, clustered_collection):
+            assert np.array_equal(a.points, b.points)
+
+    def test_npz_round_trip_with_timestamps(self, tmp_path):
+        collection = make_trajectories(n=5, points_per_trajectory=6, seed=1)
+        path = tmp_path / "data.npz"
+        save_collection(path, collection)
+        loaded = load_collection(path)
+        assert loaded.has_timestamps()
+        assert np.array_equal(loaded[2].timestamps, collection[2].timestamps)
+
+    def test_csv_round_trip(self, tmp_path, clustered_collection):
+        path = tmp_path / "data.csv"
+        export_csv(path, clustered_collection)
+        loaded = import_csv(path)
+        assert loaded.n == clustered_collection.n
+        for a, b in zip(loaded, clustered_collection):
+            assert np.allclose(a.points, b.points)
+
+    def test_csv_round_trip_with_timestamps(self, tmp_path):
+        collection = make_trajectories(n=4, points_per_trajectory=5, seed=2)
+        path = tmp_path / "data.csv"
+        export_csv(path, collection)
+        loaded = import_csv(path)
+        assert loaded.has_timestamps()
+        assert np.allclose(loaded[1].timestamps, collection[1].timestamps)

@@ -1,0 +1,126 @@
+"""Tests for the dynamic (updatable) collection wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicMIO
+
+from conftest import oracle_scores, random_collection
+
+
+def filled(seed=191, n=15):
+    collection = random_collection(n=n, mean_points=5, seed=seed)
+    dynamic = DynamicMIO()
+    handles = [dynamic.add_object(obj.points) for obj in collection]
+    return collection, dynamic, handles
+
+
+class TestMutation:
+    def test_handles_are_stable_and_unique(self):
+        _collection, dynamic, handles = filled()
+        assert len(set(handles)) == len(handles)
+        dynamic.remove_object(handles[3])
+        assert handles[3] not in dynamic
+        assert handles[4] in dynamic
+        new_handle = dynamic.add_object(np.zeros((2, 2)))
+        assert new_handle not in handles  # never recycled
+
+    def test_size_tracking(self):
+        _collection, dynamic, handles = filled(n=10)
+        assert len(dynamic) == 10
+        dynamic.remove_object(handles[0])
+        assert len(dynamic) == 9
+
+    def test_remove_missing_raises(self):
+        _collection, dynamic, _handles = filled()
+        with pytest.raises(KeyError):
+            dynamic.remove_object(99999)
+
+    def test_add_rejects_bad_arrays(self):
+        dynamic = DynamicMIO()
+        with pytest.raises(ValueError):
+            dynamic.add_object(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            dynamic.add_object(np.zeros(3))
+
+    def test_get_points(self):
+        dynamic = DynamicMIO()
+        points = np.array([[1.0, 2.0]])
+        handle = dynamic.add_object(points)
+        assert np.array_equal(dynamic.get_points(handle), points)
+
+
+class TestQueries:
+    def test_query_matches_oracle(self):
+        collection, dynamic, handles = filled(seed=192, n=25)
+        truth = oracle_scores(collection, 2.0)
+        winner_handle, result = dynamic.query(2.0)
+        assert result.score == max(truth)
+        assert truth[handles.index(winner_handle)] == result.score
+
+    def test_query_after_removal_matches_oracle(self):
+        collection, dynamic, handles = filled(seed=193, n=20)
+        removed = {3, 11}
+        for index in removed:
+            dynamic.remove_object(handles[index])
+        survivors = [i for i in range(collection.n) if i not in removed]
+        reduced = collection.subset(survivors)
+        truth = oracle_scores(reduced, 2.0)
+        winner_handle, result = dynamic.query(2.0)
+        assert result.score == max(truth)
+        winner_position = survivors.index(handles.index(winner_handle))
+        assert truth[winner_position] == result.score
+
+    def test_query_after_additions_matches_oracle(self):
+        collection, dynamic, _handles = filled(seed=194, n=12)
+        extra = random_collection(n=6, mean_points=5, seed=195)
+        for obj in extra:
+            dynamic.add_object(obj.points)
+        from repro.core.objects import ObjectCollection
+
+        merged = ObjectCollection.from_point_arrays(
+            [obj.points for obj in collection] + [obj.points for obj in extra]
+        )
+        truth = oracle_scores(merged, 2.0)
+        _winner, result = dynamic.query(2.0)
+        assert result.score == max(truth)
+
+    def test_topk_handles(self):
+        collection, dynamic, handles = filled(seed=196, n=20)
+        truth = sorted(oracle_scores(collection, 2.0), reverse=True)[:4]
+        ranking = dynamic.query_topk(2.0, 4)
+        assert [score for _h, score in ranking] == truth
+        assert all(handle in dynamic for handle, _s in ranking)
+
+    def test_needs_two_objects(self):
+        dynamic = DynamicMIO()
+        dynamic.add_object(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            dynamic.query(1.0)
+
+
+class TestLabelLifecycle:
+    def test_repeated_queries_reuse_labels(self):
+        _collection, dynamic, _handles = filled(seed=197, n=20)
+        _w1, first = dynamic.query(2.0)
+        _w2, second = dynamic.query(2.0)
+        assert first.algorithm == "bigrid"
+        assert second.algorithm == "bigrid-label"
+        assert first.score == second.score
+
+    def test_mutation_invalidates_labels(self):
+        _collection, dynamic, handles = filled(seed=198, n=20)
+        dynamic.query(2.0)
+        dynamic.remove_object(handles[0])
+        _winner, result = dynamic.query(2.0)
+        # Fresh collection, fresh store: this must be a labeling run again.
+        assert result.algorithm == "bigrid"
+
+    def test_labels_can_be_disabled(self):
+        collection = random_collection(n=10, mean_points=4, seed=199)
+        dynamic = DynamicMIO(use_labels=False)
+        for obj in collection:
+            dynamic.add_object(obj.points)
+        _w1, first = dynamic.query(2.0)
+        _w2, second = dynamic.query(2.0)
+        assert first.algorithm == second.algorithm == "bigrid"

@@ -1,0 +1,208 @@
+"""Integration tests for the MIO engine (Algorithm 2)."""
+
+import pytest
+
+from repro.core.engine import MIOEngine, _kth_largest
+from repro.datasets import make_neurons, make_powerlaw, make_trajectories
+
+from conftest import oracle_scores, random_collection
+
+
+class TestQueryExactness:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("r", [1.0, 2.0, 4.0])
+    def test_matches_oracle_2d(self, seed, r):
+        collection = random_collection(n=35, mean_points=6, seed=seed)
+        truth = oracle_scores(collection, r)
+        result = MIOEngine(collection).query(r)
+        assert result.score == max(truth)
+        assert truth[result.winner] == result.score
+
+    @pytest.mark.parametrize("r", [1.5, 3.0])
+    def test_matches_oracle_3d(self, clustered_collection_3d, r):
+        truth = oracle_scores(clustered_collection_3d, r)
+        result = MIOEngine(clustered_collection_3d).query(r)
+        assert result.score == max(truth)
+
+    def test_matches_oracle_on_generated_datasets(self):
+        for collection in (
+            make_neurons(n=12, mean_points=30, extent=60.0, seed=2),
+            make_trajectories(n=25, points_per_trajectory=10, extent=300.0, seed=2),
+            make_powerlaw(n=30, mean_points=6, extent=400.0, n_communities=5, seed=2),
+        ):
+            truth = oracle_scores(collection, 4.0)
+            result = MIOEngine(collection).query(4.0)
+            assert result.score == max(truth)
+
+    def test_plain_backend_same_answer(self, clustered_collection):
+        r = 2.0
+        ewah = MIOEngine(clustered_collection, backend="ewah").query(r)
+        plain = MIOEngine(clustered_collection, backend="plain").query(r)
+        assert ewah.score == plain.score
+
+    def test_known_small_case(self, small_collection):
+        result = MIOEngine(small_collection).query(1.5)
+        # o1 touches both o0 (gap 0.5) and o2 (gap 1.0); others touch one.
+        assert result.winner == 1
+        assert result.score == 2
+
+    def test_far_apart_scores_zero(self, small_collection):
+        result = MIOEngine(small_collection).query(0.1)
+        assert result.score == 0
+
+
+class TestTopK:
+    @pytest.mark.parametrize("k", [1, 2, 5, 10])
+    def test_topk_matches_oracle(self, clustered_collection, k):
+        r = 2.0
+        truth = sorted(oracle_scores(clustered_collection, r), reverse=True)
+        result = MIOEngine(clustered_collection).query_topk(r, k)
+        assert [score for _, score in result.topk] == truth[:k]
+
+    def test_topk_k1_equals_query(self, clustered_collection):
+        engine = MIOEngine(clustered_collection)
+        assert engine.query_topk(2.0, 1).score == engine.query(2.0).score
+
+    def test_topk_k_exceeding_n(self, small_collection):
+        result = MIOEngine(small_collection).query_topk(1.5, 100)
+        assert len(result.topk) == small_collection.n
+
+    def test_invalid_k(self, small_collection):
+        with pytest.raises(ValueError):
+            MIOEngine(small_collection).query_topk(1.0, 0)
+
+
+class TestValidation:
+    def test_invalid_r(self, small_collection):
+        engine = MIOEngine(small_collection)
+        with pytest.raises(ValueError):
+            engine.query(0.0)
+        with pytest.raises(ValueError):
+            engine.query(-2.0)
+
+    def test_invalid_label_reuse(self, small_collection):
+        with pytest.raises(ValueError):
+            MIOEngine(small_collection, label_reuse="sometimes")
+
+
+class TestResultMetadata:
+    def test_phases_recorded(self, clustered_collection):
+        result = MIOEngine(clustered_collection).query(2.0)
+        for phase in ("grid_mapping", "lower_bounding", "upper_bounding", "verification"):
+            assert phase in result.phases
+            assert result.phases[phase] >= 0.0
+        assert result.total_time > 0.0
+        assert result.phase_time("nonexistent") == 0.0
+
+    def test_counters_recorded(self, clustered_collection):
+        result = MIOEngine(clustered_collection).query(2.0)
+        assert result.counters["mapped_points"] == clustered_collection.total_points
+        assert result.counters["candidates"] >= 1
+        assert result.counters["verified_objects"] >= 1
+
+    def test_memory_reported(self, clustered_collection):
+        result = MIOEngine(clustered_collection).query(2.0)
+        assert result.memory_bytes > 0
+
+    def test_algorithm_name(self, clustered_collection):
+        assert MIOEngine(clustered_collection).query(2.0).algorithm == "bigrid"
+
+    def test_last_bigrid_exposed(self, clustered_collection):
+        engine = MIOEngine(clustered_collection)
+        assert engine.last_bigrid is None
+        engine.query(2.0)
+        assert engine.last_bigrid is not None
+        assert engine.last_bigrid.r == 2.0
+
+    def test_repr(self, clustered_collection):
+        text = repr(MIOEngine(clustered_collection).query(2.0))
+        assert "MIOResult" in text and "bigrid" in text
+
+
+class TestKthLargest:
+    def test_basic(self):
+        assert _kth_largest([5, 1, 3], 1) == 5
+        assert _kth_largest([5, 1, 3], 2) == 3
+        assert _kth_largest([5, 1, 3], 3) == 1
+
+    def test_k_beyond_length(self):
+        assert _kth_largest([5, 1], 5) == 0
+
+
+class TestFloatBoundaryRegression:
+    """Regression: computed distance exactly r across a cell boundary.
+
+    A point infinitesimally left of 0 floors into cell -1 while a point at
+    exactly 1.0 floors into cell 1 of a width-1 grid; their float64
+    distance rounds to exactly r = 1.0, so an unguarded large grid would
+    place them two cells apart and the upper bound would miss the pair.
+    The guarded widths (grid.keys.WIDTH_GUARD) keep the engine consistent
+    with float comparisons.  Found by hypothesis.
+    """
+
+    def test_denormal_boundary_pair(self):
+        import numpy as np
+
+        from repro.core.objects import ObjectCollection
+
+        collection = ObjectCollection.from_point_arrays(
+            [
+                np.array([[1.0, 0.0], [0.0, 2.0]]),
+                np.array([[-2.225073858507203e-309, 0.0]]),
+            ]
+        )
+        result = MIOEngine(collection).query(1.0)
+        assert result.score == 1
+
+    def test_exact_width_pair_on_boundary(self):
+        import numpy as np
+
+        from repro.core.objects import ObjectCollection
+
+        # Both points exactly on cell corners, distance exactly r.
+        collection = ObjectCollection.from_point_arrays(
+            [np.array([[0.0, 0.0]]), np.array([[3.0, 4.0]])]
+        )
+        result = MIOEngine(collection).query(5.0)
+        assert result.score == 1
+
+
+class TestQueryBatch:
+    def test_batch_matches_individual_queries(self, clustered_collection):
+        engine = MIOEngine(clustered_collection)
+        sweep = [2.9, 2.1, 3.5, 2.5]
+        batch = engine.query_batch(sweep)
+        for r, result in zip(sweep, batch):
+            assert result.r == r
+            assert result.score == max(oracle_scores(clustered_collection, r))
+
+    def test_batch_reuses_labels_within_ceiling(self, clustered_collection):
+        engine = MIOEngine(clustered_collection)
+        batch = engine.query_batch([2.2, 2.9, 2.5])
+        # The largest r of the ceil=3 group labels; the others reuse.
+        by_r = {result.r: result for result in batch}
+        assert by_r[2.9].algorithm == "bigrid"
+        assert by_r[2.2].algorithm == "bigrid-label"
+        assert by_r[2.5].algorithm == "bigrid-label"
+
+    def test_batch_without_store_leaves_engine_unchanged(self, clustered_collection):
+        engine = MIOEngine(clustered_collection)
+        engine.query_batch([2.0, 2.5])
+        assert engine.label_store is None
+
+    def test_batch_with_existing_store_keeps_it(self, clustered_collection):
+        from repro.core.labels import LabelStore
+
+        store = LabelStore()
+        engine = MIOEngine(clustered_collection, label_store=store)
+        engine.query_batch([2.0])
+        assert engine.label_store is store
+        assert store.has(2)
+
+    def test_empty_batch(self, clustered_collection):
+        assert MIOEngine(clustered_collection).query_batch([]) == []
+
+    def test_batch_preserves_input_order(self, clustered_collection):
+        engine = MIOEngine(clustered_collection)
+        sweep = [5.0, 2.0, 3.0]
+        assert [result.r for result in engine.query_batch(sweep)] == sweep

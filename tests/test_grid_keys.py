@@ -1,0 +1,113 @@
+"""Unit tests for grid key computation and the two width guarantees."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grid import keys as grid_keys
+
+
+class TestWidths:
+    def test_small_cell_width_3d(self):
+        width = grid_keys.small_cell_width(6.0, 3)
+        assert width == pytest.approx(6.0 / math.sqrt(3))
+        assert width < 6.0 / math.sqrt(3)  # guard shrinks, never grows
+
+    def test_small_cell_width_2d(self):
+        assert grid_keys.small_cell_width(6.0, 2) == pytest.approx(6.0 / math.sqrt(2))
+
+    def test_small_cell_width_validation(self):
+        with pytest.raises(ValueError):
+            grid_keys.small_cell_width(0.0, 2)
+        with pytest.raises(ValueError):
+            grid_keys.small_cell_width(1.0, 4)
+
+    def test_large_cell_width_is_ceiling(self):
+        assert grid_keys.large_cell_width(4.0) == pytest.approx(4.0)
+        assert grid_keys.large_cell_width(4.2) == pytest.approx(5.0)
+        assert grid_keys.large_cell_width(0.3) == pytest.approx(1.0)
+        # The guard widens, never narrows.
+        assert grid_keys.large_cell_width(4.0) > 4.0
+
+    def test_large_cell_width_validation(self):
+        with pytest.raises(ValueError):
+            grid_keys.large_cell_width(-1.0)
+        with pytest.raises(ValueError):
+            grid_keys.large_cell_width(float("inf"))
+        with pytest.raises(ValueError):
+            grid_keys.large_cell_width(float("nan"))
+
+    def test_same_ceiling_same_large_grid(self):
+        # The property Section III-D's label reuse relies on.
+        assert grid_keys.large_cell_width(4.1) == grid_keys.large_cell_width(4.9)
+
+
+class TestKeys:
+    def test_compute_keys(self):
+        points = np.array([[0.5, 0.5], [1.5, 0.5], [-0.5, 0.5]])
+        assert grid_keys.compute_keys(points, 1.0) == [(0, 0), (1, 0), (-1, 0)]
+
+    def test_point_key_matches_compute_keys(self):
+        points = np.array([[3.7, -2.2, 9.9]])
+        assert grid_keys.point_key(points[0], 2.5) == grid_keys.compute_keys(points, 2.5)[0]
+
+    def test_boundary_is_half_open(self):
+        points = np.array([[1.0, 0.0], [0.999999, 0.0]])
+        computed = grid_keys.compute_keys(points, 1.0)
+        assert computed[0] == (1, 0)
+        assert computed[1] == (0, 0)
+
+
+class TestAdjacency:
+    def test_offsets_2d(self):
+        assert len(grid_keys.neighbor_offsets(2)) == 8
+        assert len(grid_keys.neighbor_offsets(2, include_center=True)) == 9
+
+    def test_offsets_3d(self):
+        assert len(grid_keys.neighbor_offsets(3)) == 26
+        assert len(grid_keys.neighbor_offsets(3, include_center=True)) == 27
+
+    def test_adjacent_keys(self):
+        neighbors = set(grid_keys.adjacent_keys((0, 0)))
+        assert (0, 0) not in neighbors
+        assert (1, 1) in neighbors
+        assert (-1, 0) in neighbors
+        assert len(neighbors) == 8
+
+    def test_cell_and_adjacent_starts_with_cell(self):
+        sequence = list(grid_keys.cell_and_adjacent_keys((2, 3)))
+        assert sequence[0] == (2, 3)
+        assert len(sequence) == 9
+
+
+class TestGuarantees:
+    """The two geometric facts Lemmas 1 and 2 rest on."""
+
+    @pytest.mark.parametrize("dimension", [2, 3])
+    def test_same_small_cell_implies_within_r(self, dimension):
+        rng = np.random.default_rng(42)
+        r = 3.7
+        width = grid_keys.small_cell_width(r, dimension)
+        points = rng.uniform(-50, 50, size=(400, dimension))
+        cells = {}
+        for point, key in zip(points, grid_keys.compute_keys(points, width)):
+            cells.setdefault(key, []).append(point)
+        for members in cells.values():
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    assert np.linalg.norm(members[i] - members[j]) <= r + 1e-9
+
+    @pytest.mark.parametrize("dimension", [2, 3])
+    @pytest.mark.parametrize("r", [1.0, 2.5, 4.0])
+    def test_within_r_implies_adjacent_large_cell(self, dimension, r):
+        rng = np.random.default_rng(7)
+        width = grid_keys.large_cell_width(r)
+        for _ in range(300):
+            p = rng.uniform(-20, 20, size=dimension)
+            direction = rng.normal(size=dimension)
+            direction /= np.linalg.norm(direction)
+            q = p + direction * rng.uniform(0, r)
+            key_p = grid_keys.point_key(p, width)
+            key_q = grid_keys.point_key(q, width)
+            assert all(abs(a - b) <= 1 for a, b in zip(key_p, key_q))

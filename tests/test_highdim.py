@@ -1,0 +1,119 @@
+"""Tests for the high-dimensional MIO extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.highdim import (
+    HighDimCollection,
+    MetricMIOEngine,
+    make_highdim_clusters,
+)
+
+
+def oracle_scores_hd(collection, r):
+    n = collection.n
+    tau = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if np.min(cdist(collection.objects[i], collection.objects[j])) <= r:
+                tau[i] += 1
+                tau[j] += 1
+    return tau
+
+
+class TestHighDimCollection:
+    def test_basic(self):
+        collection = HighDimCollection([np.zeros((3, 5)), np.ones((2, 5))])
+        assert collection.n == 2
+        assert collection.dimension == 5
+        assert collection.total_points == 5
+
+    def test_rejects_mixed_dimensions(self):
+        with pytest.raises(ValueError):
+            HighDimCollection([np.zeros((2, 4)), np.zeros((2, 5))])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HighDimCollection([])
+        with pytest.raises(ValueError):
+            HighDimCollection([np.zeros((0, 4))])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            HighDimCollection([np.array([[np.nan, 0.0, 0.0]])])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            HighDimCollection([np.zeros((3, 1))])
+
+
+class TestMetricMIOExactness:
+    @pytest.mark.parametrize("dimension", [2, 4, 6, 10])
+    @pytest.mark.parametrize("r", [2.0, 6.0])
+    def test_matches_oracle_across_dimensions(self, dimension, r):
+        collection = make_highdim_clusters(
+            n=25, mean_points=5, dimension=dimension, extent=60.0, seed=dimension
+        )
+        truth = oracle_scores_hd(collection, r)
+        result = MetricMIOEngine(collection).query(r)
+        assert result.score == max(truth)
+        assert truth[result.winner] == result.score
+
+    def test_brute_force_matches_oracle(self):
+        collection = make_highdim_clusters(n=12, mean_points=4, dimension=7, seed=3)
+        engine = MetricMIOEngine(collection)
+        assert engine.brute_force_scores(3.0) == oracle_scores_hd(collection, 3.0)
+
+    def test_all_isolated(self):
+        rng = np.random.default_rng(0)
+        centers = rng.uniform(0, 10_000.0, size=(10, 8))
+        collection = HighDimCollection(
+            [center + rng.normal(0, 0.1, size=(3, 8)) for center in centers]
+        )
+        result = MetricMIOEngine(collection).query(1.0)
+        assert result.score == 0
+
+    def test_invalid_r(self):
+        collection = make_highdim_clusters(n=4, mean_points=3, dimension=4, seed=1)
+        with pytest.raises(ValueError):
+            MetricMIOEngine(collection).query(0.0)
+
+
+class TestBoundsPrune:
+    def test_pruning_leaves_fewer_candidates(self):
+        # Tight clusters spread far apart: the sphere bounds both certify
+        # in-cluster pairs and exclude cross-cluster pairs.
+        collection = make_highdim_clusters(
+            n=60,
+            mean_points=5,
+            dimension=8,
+            n_clusters=6,
+            extent=500.0,
+            cluster_radius=0.4,
+            seed=9,
+        )
+        result = MetricMIOEngine(collection).query(4.0)
+        assert result.counters["candidates"] < collection.n
+        assert result.counters["verified_objects"] <= result.counters["candidates"]
+        assert result.counters["tau_max_low"] > 0
+
+    def test_certain_pairs_need_no_verification(self):
+        # Two tight clusters far apart: every in-cluster pair is certain,
+        # so verification should do (almost) no point-level work.
+        rng = np.random.default_rng(4)
+        arrays = []
+        for center_value in (0.0, 500.0):
+            center = np.full(6, center_value)
+            for _ in range(8):
+                arrays.append(center + rng.normal(0, 0.05, size=(4, 6)))
+        collection = HighDimCollection(arrays)
+        result = MetricMIOEngine(collection).query(10.0)
+        assert result.score == 7
+        assert result.counters["pairs_checked"] == 0
+
+    def test_memory_is_summary_only(self):
+        collection = make_highdim_clusters(n=30, mean_points=20, dimension=5, seed=2)
+        result = MetricMIOEngine(collection).query(2.0)
+        # Centroids + radii: n * (d + 1) floats, far below the data size.
+        assert result.memory_bytes == 30 * (5 + 1) * 8

@@ -1,0 +1,83 @@
+"""Unit tests for the kd-tree."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.spatial.kdtree import KDTree
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KDTree(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            KDTree(np.zeros(3))
+
+    def test_len(self):
+        assert len(KDTree(np.zeros((5, 2)))) == 5
+
+    def test_degenerate_identical_points(self):
+        tree = KDTree(np.ones((50, 3)))
+        assert tree.nearest(np.ones(3)) == 0.0
+        assert tree.any_within(np.zeros(3), 2.0)
+        assert tree.count_within(np.ones(3), 0.1) == 50
+
+
+class TestNearest:
+    @pytest.mark.parametrize("dimension", [2, 3])
+    @pytest.mark.parametrize("size", [1, 5, 100, 500])
+    def test_matches_brute_force(self, dimension, size):
+        rng = np.random.default_rng(size + dimension)
+        points = rng.uniform(0, 100, size=(size, dimension))
+        tree = KDTree(points)
+        for _ in range(25):
+            query = rng.uniform(-10, 110, size=dimension)
+            expected = float(np.min(np.linalg.norm(points - query, axis=1)))
+            assert tree.nearest(query) == pytest.approx(expected, abs=1e-9)
+
+    def test_query_on_a_data_point(self):
+        points = np.array([[0.0, 0.0], [5.0, 5.0]])
+        assert KDTree(points).nearest(np.array([5.0, 5.0])) == 0.0
+
+
+class TestAnyWithin:
+    @pytest.mark.parametrize("size", [1, 20, 300])
+    def test_matches_brute_force(self, size):
+        rng = np.random.default_rng(size)
+        points = rng.uniform(0, 50, size=(size, 2))
+        tree = KDTree(points)
+        for _ in range(40):
+            query = rng.uniform(0, 50, size=2)
+            r = float(rng.uniform(0.1, 10.0))
+            expected = bool(np.min(np.linalg.norm(points - query, axis=1)) <= r)
+            assert tree.any_within(query, r) == expected
+
+    def test_boundary_inclusive(self):
+        tree = KDTree(np.array([[3.0, 4.0]]))
+        assert tree.any_within(np.zeros(2), 5.0)
+        assert not tree.any_within(np.zeros(2), 4.999999)
+
+
+class TestCountWithin:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(77)
+        points = rng.uniform(0, 30, size=(200, 3))
+        tree = KDTree(points)
+        for _ in range(25):
+            query = rng.uniform(0, 30, size=3)
+            r = float(rng.uniform(1.0, 15.0))
+            expected = int(np.count_nonzero(np.linalg.norm(points - query, axis=1) <= r))
+            assert tree.count_within(query, r) == expected
+
+
+class TestLeafSizes:
+    @pytest.mark.parametrize("leaf_size", [1, 2, 8, 64])
+    def test_any_leaf_size_is_correct(self, leaf_size):
+        rng = np.random.default_rng(leaf_size)
+        points = rng.uniform(0, 20, size=(150, 2))
+        tree = KDTree(points, leaf_size=leaf_size)
+        queries = rng.uniform(0, 20, size=(10, 2))
+        expected = cdist(queries, points).min(axis=1)
+        for query, truth in zip(queries, expected):
+            assert tree.nearest(query) == pytest.approx(float(truth), abs=1e-9)

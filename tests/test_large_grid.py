@@ -1,0 +1,79 @@
+"""Unit tests for the large-grid (Definition 3)."""
+
+import numpy as np
+
+from repro.bitset import EWAHBitset
+from repro.grid.large_grid import LargeGrid
+
+
+def make_grid():
+    return LargeGrid(width=2.0, dimension=2, bitset_cls=EWAHBitset)
+
+
+class TestPostings:
+    def test_posting_lists_accumulate_point_indices(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0), 3)
+        grid.add_point(0, (0, 0), 7)
+        grid.add_point(1, (0, 0), 0)
+        cell = grid.cell((0, 0))
+        assert cell.postings[0] == [3, 7]
+        assert cell.postings[1] == [0]
+        assert list(cell.bitset.iter_set_bits()) == [0, 1]
+
+    def test_posting_points_cache(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0), 1)
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        cell = grid.cell((0, 0))
+        fetched = cell.posting_points(0, points)
+        assert fetched.tolist() == [[1.0, 1.0]]
+        assert cell.posting_points(0, points) is fetched  # cached
+
+
+class TestAdjacentUnion:
+    def test_union_covers_cell_and_neighbors(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0), 0)
+        grid.add_point(1, (1, 0), 0)   # adjacent
+        grid.add_point(2, (5, 5), 0)   # far away
+        union = grid.adjacent_union((0, 0))
+        assert list(union.iter_set_bits()) == [0, 1]
+
+    def test_union_is_memoized(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0), 0)
+        first = grid.adjacent_union((0, 0))
+        assert grid.adj_computed == 1
+        second = grid.adjacent_union((0, 0))
+        assert second is first
+        assert grid.adj_computed == 1
+
+    def test_union_includes_diagonal_neighbors(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0), 0)
+        grid.add_point(1, (1, 1), 0)
+        assert grid.adjacent_union((0, 0)).get(1)
+
+    def test_union_excludes_two_cells_away(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0), 0)
+        grid.add_point(1, (2, 0), 0)
+        assert not grid.adjacent_union((0, 0)).get(1)
+
+
+class TestMemory:
+    def test_memory_counts_postings_and_bitsets(self):
+        grid = make_grid()
+        assert grid.memory_bytes() == 0
+        grid.add_point(0, (0, 0), 0)
+        base = grid.memory_bytes()
+        grid.add_point(0, (0, 0), 1)
+        assert grid.memory_bytes() == base + 8  # one more posting entry
+
+    def test_adjacent_union_adds_memory(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0), 0)
+        before = grid.memory_bytes()
+        grid.adjacent_union((0, 0))
+        assert grid.memory_bytes() > before

@@ -1,0 +1,87 @@
+"""Unit tests for lower-bounding (Algorithm 4 / Lemma 1)."""
+
+import numpy as np
+
+from repro.core.lower_bound import compute_lower_bounds
+from repro.core.objects import ObjectCollection
+from repro.core.query import PhaseStats
+from repro.grid.bigrid import BIGrid
+
+from conftest import oracle_scores, random_collection
+
+
+class TestSoundness:
+    def test_lower_bound_never_exceeds_score(self):
+        collection = random_collection(n=30, mean_points=6, seed=21)
+        for r in (1.0, 2.5, 5.0):
+            bigrid = BIGrid.build(collection, r=r)
+            lower = compute_lower_bounds(bigrid)
+            truth = oracle_scores(collection, r)
+            for oid in range(collection.n):
+                assert lower.values[oid] <= truth[oid]
+
+    def test_tau_max_is_max_of_values(self):
+        collection = random_collection(n=25, mean_points=5, seed=22)
+        lower = compute_lower_bounds(BIGrid.build(collection, r=2.0))
+        assert lower.tau_max == max(lower.values)
+
+    def test_overlapping_objects_get_positive_bound(self):
+        collection = ObjectCollection.from_point_arrays(
+            [np.array([[0.0, 0.0]]), np.array([[0.01, 0.0]])]
+        )
+        lower = compute_lower_bounds(BIGrid.build(collection, r=1.0))
+        assert lower.values == [1, 1]
+
+    def test_isolated_objects_get_zero(self):
+        collection = ObjectCollection.from_point_arrays(
+            [np.array([[0.0, 0.0]]), np.array([[100.0, 100.0]])]
+        )
+        lower = compute_lower_bounds(BIGrid.build(collection, r=1.0))
+        assert lower.values == [0, 0]
+        assert lower.tau_max == 0
+
+
+class TestBitsets:
+    def test_bitsets_kept_on_request(self):
+        collection = random_collection(n=15, mean_points=5, seed=23)
+        bigrid = BIGrid.build(collection, r=3.0)
+        without = compute_lower_bounds(bigrid)
+        with_bitsets = compute_lower_bounds(bigrid, keep_bitsets=True)
+        assert without.bitsets is None
+        assert with_bitsets.bitsets is not None
+        for oid, bitset in enumerate(with_bitsets.bitsets):
+            if bitset is None:
+                assert with_bitsets.values[oid] == 0
+            else:
+                assert bitset.get(oid)
+                assert bitset.cardinality() - 1 == with_bitsets.values[oid]
+
+    def test_bitset_members_certainly_interact(self):
+        collection = random_collection(n=20, mean_points=6, seed=24)
+        r = 2.0
+        bigrid = BIGrid.build(collection, r=r)
+        result = compute_lower_bounds(bigrid, keep_bitsets=True)
+        truth = oracle_scores(collection, r)
+        for oid, bitset in enumerate(result.bitsets):
+            if bitset is None:
+                continue
+            members = [b for b in bitset.iter_set_bits() if b != oid]
+            # Every member must truly interact: check via the oracle pairs.
+            for member in members:
+                from scipy.spatial.distance import cdist
+
+                distances = cdist(collection[oid].points, collection[member].points)
+                assert np.min(distances) <= r
+
+
+class TestStats:
+    def test_counters_recorded(self):
+        collection = random_collection(n=10, mean_points=5, seed=25)
+        bigrid = BIGrid.build(collection, r=2.0)
+        stats = PhaseStats()
+        compute_lower_bounds(bigrid, stats=stats)
+        assert "lower_or_operations" in stats.counters
+        assert "tau_max_low" in stats.counters
+        assert stats.counters["lower_or_operations"] == sum(
+            len(keys) for keys in bigrid.key_lists
+        )

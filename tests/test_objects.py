@@ -1,0 +1,115 @@
+"""Unit tests for the object/collection data model."""
+
+import numpy as np
+import pytest
+
+from repro.core.objects import ObjectCollection, SpatialObject
+
+
+class TestSpatialObject:
+    def test_basic(self):
+        obj = SpatialObject(0, np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert obj.num_points == 2
+        assert obj.dimension == 2
+        assert len(obj) == 2
+
+    def test_accepts_3d(self):
+        obj = SpatialObject(1, np.zeros((3, 3)))
+        assert obj.dimension == 3
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            SpatialObject(0, np.zeros(3))
+        with pytest.raises(ValueError):
+            SpatialObject(0, np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            SpatialObject(0, np.zeros((0, 2)))
+
+    def test_rejects_misaligned_timestamps(self):
+        with pytest.raises(ValueError):
+            SpatialObject(0, np.zeros((2, 2)), np.zeros(3))
+
+    def test_bounds(self):
+        obj = SpatialObject(0, np.array([[0.0, 5.0], [2.0, 1.0]]))
+        low, high = obj.bounds()
+        assert low.tolist() == [0.0, 1.0]
+        assert high.tolist() == [2.0, 5.0]
+
+    def test_points_are_float64_contiguous(self):
+        obj = SpatialObject(0, np.array([[1, 2], [3, 4]], dtype=np.int32))
+        assert obj.points.dtype == np.float64
+        assert obj.points.flags["C_CONTIGUOUS"]
+
+    def test_repr(self):
+        assert "oid=3" in repr(SpatialObject(3, np.zeros((2, 2))))
+
+
+class TestObjectCollection:
+    def test_statistics(self):
+        collection = ObjectCollection.from_point_arrays(
+            [np.zeros((2, 2)), np.zeros((4, 2))]
+        )
+        assert collection.n == 2
+        assert collection.total_points == 6
+        assert collection.mean_points == 3.0
+        assert collection.dimension == 2
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            ObjectCollection([])
+
+    def test_requires_uniform_dimension(self):
+        with pytest.raises(ValueError):
+            ObjectCollection.from_point_arrays([np.zeros((2, 2)), np.zeros((2, 3))])
+
+    def test_requires_contiguous_ids(self):
+        objects = [SpatialObject(0, np.zeros((1, 2))), SpatialObject(5, np.zeros((1, 2)))]
+        with pytest.raises(ValueError):
+            ObjectCollection(objects)
+
+    def test_subset_renumbers(self):
+        collection = ObjectCollection.from_point_arrays(
+            [np.full((1, 2), float(i)) for i in range(5)]
+        )
+        subset = collection.subset([1, 4])
+        assert subset.n == 2
+        assert subset[0].oid == 0
+        assert subset[0].points[0, 0] == 1.0
+        assert subset[1].points[0, 0] == 4.0
+
+    def test_subset_keeps_timestamps(self):
+        collection = ObjectCollection.from_point_arrays(
+            [np.zeros((2, 2)), np.ones((2, 2))],
+            [np.array([0.0, 1.0]), np.array([2.0, 3.0])],
+        )
+        subset = collection.subset([1])
+        assert subset.has_timestamps()
+        assert subset[0].timestamps.tolist() == [2.0, 3.0]
+
+    def test_has_timestamps(self):
+        with_ts = ObjectCollection.from_point_arrays([np.zeros((1, 2))], [np.zeros(1)])
+        without = ObjectCollection.from_point_arrays([np.zeros((1, 2))])
+        assert with_ts.has_timestamps()
+        assert not without.has_timestamps()
+
+    def test_bounds(self):
+        collection = ObjectCollection.from_point_arrays(
+            [np.array([[0.0, 0.0]]), np.array([[5.0, -2.0]])]
+        )
+        low, high = collection.bounds()
+        assert low.tolist() == [0.0, -2.0]
+        assert high.tolist() == [5.0, 0.0]
+
+    def test_memory_bytes(self):
+        collection = ObjectCollection.from_point_arrays([np.zeros((4, 2))])
+        assert collection.memory_bytes() == 4 * 2 * 8
+
+    def test_iteration_and_indexing(self):
+        collection = ObjectCollection.from_point_arrays([np.zeros((1, 2))] * 3)
+        assert [obj.oid for obj in collection] == [0, 1, 2]
+        assert collection[2].oid == 2
+        assert len(collection) == 3
+
+    def test_repr(self):
+        collection = ObjectCollection.from_point_arrays([np.zeros((2, 2))])
+        assert "n=1" in repr(collection)

@@ -1,0 +1,98 @@
+"""Tests for the per-phase partitioning plans (Section IV)."""
+
+from repro.grid.bigrid import BIGrid
+from repro.parallel.plans import (
+    plan_lower_bounding_greedy_d,
+    plan_objects_by_weight,
+    plan_upper_bounding_greedy_d,
+    plan_upper_bounding_greedy_p,
+    plan_verification_chunks,
+    split_points_round_robin,
+)
+
+from conftest import random_collection
+
+
+def make_bigrid(seed=81, r=2.0):
+    return BIGrid.build(random_collection(n=25, mean_points=8, seed=seed), r=r)
+
+
+class TestObjectPlans:
+    def test_assignment_covers_all_objects(self):
+        bigrid = make_bigrid()
+        for plan in (
+            plan_lower_bounding_greedy_d(bigrid, 4),
+            plan_upper_bounding_greedy_d(bigrid, 4),
+        ):
+            assert len(plan.assignment) == bigrid.collection.n
+            assert all(0 <= core < 4 for core in plan.assignment)
+
+    def test_loads_match_assignment(self):
+        bigrid = make_bigrid()
+        plan = plan_lower_bounding_greedy_d(bigrid, 3)
+        recomputed = [0.0] * 3
+        for oid, core in enumerate(plan.assignment):
+            recomputed[core] += len(bigrid.key_lists[oid])
+        assert recomputed == plan.loads
+
+    def test_single_core(self):
+        plan = plan_objects_by_weight([3.0, 1.0], 1)
+        assert plan.assignment == [0, 0]
+
+
+class TestGreedyPGroupPlan:
+    def test_every_group_assigned_once(self):
+        bigrid = make_bigrid()
+        plan = plan_upper_bounding_greedy_p(bigrid, 4)
+        total_groups = sum(len(groups) for groups in bigrid.object_groups)
+        assert len(plan.tasks) == total_groups
+        assert len(plan.assignment) == total_groups
+
+    def test_key_ownership_is_exclusive(self):
+        """Each large-grid key is handled by exactly one core (no b_adj races)."""
+        bigrid = make_bigrid()
+        plan = plan_upper_bounding_greedy_p(bigrid, 4)
+        owner = {}
+        for (oid, key, _points), core in zip(plan.tasks, plan.assignment):
+            assert owner.setdefault(key, core) == core
+
+    def test_loads_are_positive_where_used(self):
+        bigrid = make_bigrid()
+        plan = plan_upper_bounding_greedy_p(bigrid, 2)
+        assert sum(plan.loads) > 0
+
+    def test_label_mode_cost_differs(self):
+        bigrid = make_bigrid()
+        with_labeling = plan_upper_bounding_greedy_p(bigrid, 2, include_labeling=True)
+        without = plan_upper_bounding_greedy_p(bigrid, 2, include_labeling=False)
+        assert sum(with_labeling.loads) > sum(without.loads)
+
+
+class TestVerificationChunks:
+    def test_round_robin_split(self):
+        assert split_points_round_robin([10, 11, 12, 13, 14], 2) == [[10, 12, 14], [11, 13]]
+
+    def test_chunks_cover_all_points(self):
+        bigrid = make_bigrid()
+        groups = bigrid.object_groups[0]
+        per_core = plan_verification_chunks(groups, 3)
+        covered = sorted(
+            point
+            for chunk_list in per_core
+            for _key, points in chunk_list
+            for point in points
+        )
+        expected = sorted(point for points in groups.values() for point in points)
+        assert covered == expected
+
+    def test_small_groups_go_to_lightest_core(self):
+        groups = {("a",): [0], ("b",): [1], ("c",): [2], ("d",): [3]}
+        per_core = plan_verification_chunks(groups, 4)
+        sizes = [sum(len(points) for _k, points in chunk_list) for chunk_list in per_core]
+        assert sizes == [1, 1, 1, 1]
+
+    def test_large_group_spreads_over_cores(self):
+        groups = {("a",): list(range(12))}
+        per_core = plan_verification_chunks(groups, 3)
+        sizes = [sum(len(points) for _k, points in chunk_list) for chunk_list in per_core]
+        assert sizes == [4, 4, 4]

@@ -1,0 +1,81 @@
+"""Tests for anytime (progressive) MIO queries."""
+
+import pytest
+
+from repro.core.engine import MIOEngine
+from repro.progressive import query_progressive
+
+from conftest import oracle_scores, random_collection
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("seed", [171, 172, 173])
+    def test_final_state_is_exact(self, seed):
+        collection = random_collection(n=30, mean_points=6, seed=seed)
+        truth = oracle_scores(collection, 2.0)
+        states = list(query_progressive(collection, 2.0))
+        final = states[-1]
+        assert final.is_final
+        assert final.best_score == max(truth)
+        assert truth[final.best_oid] == final.best_score
+        assert final.gap == 0 or final.candidates_verified == final.candidates_total
+
+    def test_interval_always_contains_truth(self):
+        collection = random_collection(n=25, mean_points=6, seed=174)
+        best = max(oracle_scores(collection, 2.0))
+        for state in query_progressive(collection, 2.0):
+            assert state.best_score <= best <= state.score_upper_bound
+
+    def test_gap_is_monotone_nonincreasing(self):
+        collection = random_collection(n=30, mean_points=6, seed=175)
+        gaps = [state.gap for state in query_progressive(collection, 2.0)]
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] == 0
+
+    def test_best_score_is_monotone_nondecreasing(self):
+        collection = random_collection(n=30, mean_points=6, seed=176)
+        scores = [state.best_score for state in query_progressive(collection, 2.0)]
+        assert scores == sorted(scores)
+
+    def test_matches_engine_answer(self):
+        collection = random_collection(n=35, mean_points=6, seed=177)
+        final = list(query_progressive(collection, 3.0))[-1]
+        assert final.best_score == MIOEngine(collection).query(3.0).score
+
+
+class TestBudget:
+    def test_truncated_stream_is_still_sound(self):
+        collection = random_collection(n=40, mean_points=6, seed=178)
+        best = max(oracle_scores(collection, 2.0))
+        states = list(query_progressive(collection, 2.0, max_verifications=2))
+        last = states[-1]
+        assert last.candidates_verified <= 2
+        assert last.best_score <= best <= last.score_upper_bound
+
+    def test_zero_budget_yields_bounding_state_only(self):
+        collection = random_collection(n=20, mean_points=5, seed=179)
+        states = list(query_progressive(collection, 2.0, max_verifications=0))
+        assert len(states) == 1
+        assert states[0].candidates_verified == 0
+
+    def test_first_state_has_no_verifications(self):
+        collection = random_collection(n=20, mean_points=5, seed=180)
+        first = next(iter(query_progressive(collection, 2.0)))
+        assert first.candidates_verified == 0
+        assert first.candidates_total >= 1
+
+
+class TestEdgeCases:
+    def test_isolated_collection_finishes_immediately(self):
+        collection = random_collection(
+            n=8, mean_points=3, seed=181, extent=50000.0, clustered=False
+        )
+        # Use a tiny r so nothing interacts.
+        states = list(query_progressive(collection, 0.001))
+        assert states[-1].best_score == 0
+        assert states[-1].is_final
+
+    def test_invalid_r(self):
+        collection = random_collection(n=5, mean_points=3, seed=182)
+        with pytest.raises(ValueError):
+            list(query_progressive(collection, -1.0))

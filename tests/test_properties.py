@@ -1,0 +1,314 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the claims the paper proves:
+
+* EWAH is semantically identical to an uncompressed bitset under every
+  operation (footnote 3's "orthogonal to any compressed bitset");
+* Lemma 1 / Lemma 2: lower(o) <= tau(o) <= upper(o) for random data;
+* the engine's answer equals brute force for arbitrary collections and
+  thresholds (Definition 1);
+* grid width guarantees hold for arbitrary coordinates, including
+  negatives;
+* label reuse stays exact.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitset import EWAHBitset, PlainBitset
+from repro.core.engine import MIOEngine
+from repro.core.labels import LabelStore
+from repro.core.lower_bound import compute_lower_bounds
+from repro.core.objects import ObjectCollection
+from repro.core.upper_bound import compute_upper_bounds
+from repro.grid.bigrid import BIGrid
+from repro.grid.keys import large_cell_width, point_key, small_cell_width
+
+from conftest import oracle_scores
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+bit_indices = st.sets(st.integers(min_value=0, max_value=1500), max_size=60)
+
+
+@st.composite
+def collections(draw, max_objects=12, max_points=6, dimension=2):
+    n = draw(st.integers(min_value=2, max_value=max_objects))
+    coordinate = st.floats(
+        min_value=-30.0, max_value=30.0, allow_nan=False, allow_infinity=False
+    )
+    arrays = []
+    for _ in range(n):
+        count = draw(st.integers(min_value=1, max_value=max_points))
+        flat = draw(
+            st.lists(coordinate, min_size=count * dimension, max_size=count * dimension)
+        )
+        arrays.append(np.array(flat, dtype=np.float64).reshape(count, dimension))
+    return ObjectCollection.from_point_arrays(arrays)
+
+
+radii = st.floats(min_value=0.1, max_value=15.0, allow_nan=False, allow_infinity=False)
+
+
+# ----------------------------------------------------------------------
+# Bitset laws
+# ----------------------------------------------------------------------
+
+
+@given(bit_indices, bit_indices)
+def test_ewah_matches_plain_semantics(xs, ys):
+    ewah_x, ewah_y = EWAHBitset.from_indices(xs), EWAHBitset.from_indices(ys)
+    plain_x, plain_y = PlainBitset.from_indices(xs), PlainBitset.from_indices(ys)
+    assert (ewah_x | ewah_y).to_int() == (plain_x | plain_y).to_int()
+    assert (ewah_x & ewah_y).to_int() == (plain_x & plain_y).to_int()
+    assert (ewah_x - ewah_y).to_int() == (plain_x - plain_y).to_int()
+    assert (ewah_x ^ ewah_y).to_int() == (plain_x ^ plain_y).to_int()
+
+
+@given(bit_indices)
+def test_ewah_round_trips(xs):
+    bitset = EWAHBitset.from_indices(xs)
+    assert list(bitset.iter_set_bits()) == sorted(xs)
+    assert bitset.cardinality() == len(xs)
+    assert EWAHBitset.from_int(bitset.to_int()) == bitset
+    assert EWAHBitset.deserialize(bitset.serialize()) == bitset
+
+
+@given(bit_indices, bit_indices)
+def test_ewah_or_cardinality_is_union_size(xs, ys):
+    union = EWAHBitset.from_indices(xs) | EWAHBitset.from_indices(ys)
+    assert union.cardinality() == len(xs | ys)
+
+
+@given(bit_indices, st.integers(min_value=0, max_value=2000))
+def test_ewah_set_arbitrary_position(xs, extra):
+    bitset = EWAHBitset.from_indices(xs)
+    bitset.set(extra)
+    assert list(bitset.iter_set_bits()) == sorted(xs | {extra})
+
+
+@given(bit_indices)
+def test_ewah_never_larger_than_plain_plus_markers(xs):
+    """Compression overhead is bounded: at most one marker per dirty word."""
+    ewah = EWAHBitset.from_indices(xs)
+    plain = PlainBitset.from_indices(xs)
+    assert ewah.size_in_bytes() <= 2 * max(plain.size_in_bytes(), 8)
+
+
+# ----------------------------------------------------------------------
+# Grid guarantees
+# ----------------------------------------------------------------------
+
+finite_coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+@given(
+    st.lists(finite_coord, min_size=3, max_size=3),
+    st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=3, max_size=3),
+    radii,
+)
+def test_same_small_cell_within_r(origin, direction, r):
+    width = small_cell_width(r, 3)
+    p = np.array(origin)
+    q = p + np.array(direction) * (width / 2.01)
+    if point_key(p, width) == point_key(q, width):
+        assert np.linalg.norm(p - q) <= r + 1e-6
+
+
+@given(
+    st.lists(finite_coord, min_size=3, max_size=3),
+    st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=3, max_size=3),
+    radii,
+)
+def test_within_r_means_adjacent_large_cells(origin, offset, r):
+    width = large_cell_width(r)
+    p = np.array(origin)
+    q = p + np.array(offset) * (r / np.sqrt(3.0))
+    assert np.linalg.norm(p - q) <= r + 1e-9
+    key_p, key_q = point_key(p, width), point_key(q, width)
+    assert all(abs(a - b) <= 1 for a, b in zip(key_p, key_q))
+
+
+# ----------------------------------------------------------------------
+# Engine vs oracle
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(collections(), radii)
+def test_engine_matches_oracle(collection, r):
+    truth = oracle_scores(collection, r)
+    result = MIOEngine(collection).query(r)
+    assert result.score == max(truth)
+    assert truth[result.winner] == result.score
+
+
+@settings(max_examples=15, deadline=None)
+@given(collections(dimension=3), radii)
+def test_engine_matches_oracle_3d(collection, r):
+    truth = oracle_scores(collection, r)
+    assert MIOEngine(collection).query(r).score == max(truth)
+
+
+@settings(max_examples=20, deadline=None)
+@given(collections(), radii)
+def test_bounds_sandwich_truth(collection, r):
+    bigrid = BIGrid.build(collection, r=r)
+    lower = compute_lower_bounds(bigrid)
+    upper = compute_upper_bounds(bigrid, tau_max_low=0)
+    truth = oracle_scores(collection, r)
+    for oid in range(collection.n):
+        assert lower.values[oid] <= truth[oid] <= upper.values[oid]
+
+
+@settings(max_examples=15, deadline=None)
+@given(collections(), radii, st.integers(min_value=1, max_value=5))
+def test_topk_matches_oracle(collection, r, k):
+    truth = sorted(oracle_scores(collection, r), reverse=True)
+    result = MIOEngine(collection).query_topk(r, k)
+    assert [score for _, score in result.topk] == truth[: min(k, collection.n)]
+
+
+@settings(max_examples=15, deadline=None)
+@given(collections(), radii)
+def test_label_replay_is_exact(collection, r):
+    store = LabelStore()
+    engine = MIOEngine(collection, label_store=store)
+    first = engine.query(r)
+    second = engine.query(r)
+    assert second.algorithm == "bigrid-label"
+    assert second.score == first.score
+
+
+@settings(max_examples=10, deadline=None)
+@given(collections(), st.floats(min_value=1.05, max_value=1.95, allow_nan=False))
+def test_same_ceiling_label_reuse_safe_mode(collection, r_prime):
+    """Labels from r=2.0 reused at any r' with ceil(r') == 2 stay exact."""
+    store = LabelStore()
+    engine = MIOEngine(collection, label_store=store, label_reuse="safe")
+    engine.query(2.0)
+    truth = oracle_scores(collection, r_prime)
+    result = engine.query(r_prime)
+    assert result.algorithm == "bigrid-label"
+    assert result.score == max(truth)
+
+
+# ----------------------------------------------------------------------
+# Temporal, parallel, backend, and segmentation properties
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def temporal_collections(draw, max_objects=8, max_points=4):
+    n = draw(st.integers(min_value=2, max_value=max_objects))
+    coordinate = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+    timestamp = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+    arrays = []
+    times = []
+    for _ in range(n):
+        count = draw(st.integers(min_value=1, max_value=max_points))
+        flat = draw(st.lists(coordinate, min_size=count * 2, max_size=count * 2))
+        arrays.append(np.array(flat, dtype=np.float64).reshape(count, 2))
+        times.append(
+            np.array(draw(st.lists(timestamp, min_size=count, max_size=count)))
+        )
+    return ObjectCollection.from_point_arrays(arrays, times)
+
+
+@settings(max_examples=15, deadline=None)
+@given(temporal_collections(), radii, st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+def test_temporal_engine_matches_oracle(collection, r, delta):
+    from repro.core.temporal import TemporalMIOEngine
+
+    from conftest import oracle_temporal_scores
+
+    truth = oracle_temporal_scores(collection, r, delta)
+    result = TemporalMIOEngine(collection).query(r, delta)
+    assert result.score == max(truth)
+    assert truth[result.winner] == result.score
+
+
+@settings(max_examples=12, deadline=None)
+@given(collections(), radii, st.integers(min_value=1, max_value=6))
+def test_parallel_engine_matches_oracle(collection, r, cores):
+    from repro.parallel.engine import ParallelMIOEngine
+
+    truth = oracle_scores(collection, r)
+    result = ParallelMIOEngine(collection, cores=cores).query(r)
+    assert result.score == max(truth)
+    assert truth[result.winner] == result.score
+
+
+@settings(max_examples=10, deadline=None)
+@given(collections(), radii)
+def test_roaring_backend_matches_oracle(collection, r):
+    truth = oracle_scores(collection, r)
+    assert MIOEngine(collection, backend="roaring").query(r).score == max(truth)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=400),
+    st.integers(min_value=2, max_value=60),
+)
+def test_segmentation_partitions_track(track_length, segment_length):
+    from repro.datasets.segmentation import split_trajectory
+
+    points = np.arange(track_length * 2, dtype=np.float64).reshape(track_length, 2)
+    segments = split_trajectory(points, segment_length=segment_length)
+    rebuilt = np.vstack([segment_points for segment_points, _ in segments])
+    # Segments partition the track exactly, in order.
+    assert np.array_equal(rebuilt, points)
+    # Balanced: no segment more than twice the target (and none empty).
+    for segment_points, _times in segments:
+        assert 1 <= len(segment_points) <= 2 * segment_length
+
+
+# ----------------------------------------------------------------------
+# Spatial index properties (kd-tree, R-tree)
+# ----------------------------------------------------------------------
+
+
+point_arrays = st.lists(
+    st.lists(
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        min_size=2,
+        max_size=2,
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_arrays, st.lists(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), min_size=2, max_size=2), radii)
+def test_kdtree_nearest_matches_brute_force(rows, query, r):
+    from repro.spatial.kdtree import KDTree
+
+    points = np.array(rows, dtype=np.float64)
+    query = np.array(query, dtype=np.float64)
+    tree = KDTree(points)
+    brute = float(np.min(np.linalg.norm(points - query, axis=1)))
+    assert abs(tree.nearest(query) - brute) < 1e-9
+    assert tree.any_within(query, r) == (brute <= r)
+
+
+@settings(max_examples=25, deadline=None)
+@given(point_arrays, radii)
+def test_rtree_query_matches_brute_force(rows, r):
+    from repro.spatial.rtree import RTree, _gap_squared
+
+    points = np.array(rows, dtype=np.float64)
+    boxes = [(point, point + 1.0) for point in points]
+    tree = RTree(boxes)
+    tree.validate()
+    lo, hi = np.array([-5.0, -5.0]), np.array([5.0, 5.0])
+    expected = {
+        index
+        for index, (blo, bhi) in enumerate(boxes)
+        if _gap_squared(blo, bhi, lo, hi) <= r * r
+    }
+    assert set(tree.query_within(lo, hi, r)) == expected

@@ -1,0 +1,114 @@
+"""Unit tests for the STR-packed R-tree and the MBR-filtered NL baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rtree_nl import RTreeNestedLoop
+from repro.spatial.rtree import RTree, _gap_squared
+
+from conftest import oracle_scores, random_collection
+
+
+def random_boxes(count, dimension=2, seed=0, extent=100.0):
+    rng = np.random.default_rng(seed)
+    lows = rng.uniform(0, extent, size=(count, dimension))
+    sizes = rng.uniform(0, extent / 10, size=(count, dimension))
+    return [(lows[i], lows[i] + sizes[i]) for i in range(count)]
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RTree([])
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(random_boxes(4), max_entries=1)
+
+    def test_rejects_inverted_boxes(self):
+        with pytest.raises(ValueError):
+            RTree([(np.array([1.0, 1.0]), np.array([0.0, 0.0]))])
+
+    @pytest.mark.parametrize("count", [1, 7, 8, 9, 64, 300])
+    def test_invariants_hold(self, count):
+        tree = RTree(random_boxes(count, seed=count))
+        tree.validate()
+        assert tree.size == count
+
+    def test_3d(self):
+        tree = RTree(random_boxes(50, dimension=3, seed=5))
+        tree.validate()
+        assert tree.dimension == 3
+
+    def test_height_grows_logarithmically(self):
+        small = RTree(random_boxes(8, seed=1))
+        large = RTree(random_boxes(512, seed=1))
+        assert small.height == 1
+        assert 2 <= large.height <= 4
+
+    def test_memory_positive(self):
+        assert RTree(random_boxes(20)).memory_bytes() > 0
+
+
+class TestQueries:
+    @pytest.mark.parametrize("r", [0.0, 2.0, 15.0])
+    def test_query_within_matches_brute_force(self, r):
+        boxes = random_boxes(150, seed=3)
+        tree = RTree(boxes)
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            lo = rng.uniform(0, 100, size=2)
+            hi = lo + rng.uniform(0, 10, size=2)
+            expected = {
+                i
+                for i, (blo, bhi) in enumerate(boxes)
+                if _gap_squared(blo, bhi, lo, hi) <= r * r
+            }
+            assert set(tree.query_within(lo, hi, r)) == expected
+
+    def test_count_within(self):
+        boxes = [(np.zeros(2), np.ones(2)), (np.full(2, 50.0), np.full(2, 51.0))]
+        tree = RTree(boxes)
+        assert tree.count_within(np.zeros(2), np.ones(2)) == 1
+        assert tree.count_within(np.zeros(2), np.ones(2), r=100.0) == 2
+
+    def test_every_box_finds_itself(self):
+        boxes = random_boxes(64, seed=6)
+        tree = RTree(boxes)
+        for i, (lo, hi) in enumerate(boxes):
+            assert i in set(tree.query_within(lo, hi))
+
+
+class TestRTreeNestedLoop:
+    @pytest.mark.parametrize("r", [1.0, 2.5, 5.0])
+    def test_scores_match_oracle(self, r):
+        collection = random_collection(n=30, mean_points=6, seed=141)
+        assert RTreeNestedLoop(collection).scores(r) == oracle_scores(collection, r)
+
+    def test_query_metadata(self):
+        collection = random_collection(n=20, mean_points=5, seed=142)
+        result = RTreeNestedLoop(collection).query(2.0)
+        assert result.algorithm == "nl-rtree"
+        assert 0 < result.counters["candidate_pairs"] <= result.counters["total_pairs"]
+        assert result.memory_bytes > 0
+
+    def test_filter_rate_bounds(self):
+        collection = random_collection(n=20, mean_points=5, seed=143)
+        rate = RTreeNestedLoop(collection).filter_rate(1.0)
+        assert 0.0 <= rate <= 1.0
+
+    def test_filter_prunes_compact_scattered_objects(self):
+        from repro.core.objects import ObjectCollection
+
+        rng = np.random.default_rng(144)
+        centers = rng.uniform(0, 5000.0, size=(30, 2))
+        collection = ObjectCollection.from_point_arrays(
+            center + rng.normal(0, 1.0, size=(4, 2)) for center in centers
+        )
+        rate = RTreeNestedLoop(collection).filter_rate(1.0)
+        assert rate > 0.9  # compact far-apart objects: MBRs prune nearly all
+
+    def test_invalid_r(self):
+        collection = random_collection(n=5, mean_points=3, seed=145)
+        with pytest.raises(ValueError):
+            RTreeNestedLoop(collection).scores(0.0)

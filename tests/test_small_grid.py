@@ -1,0 +1,66 @@
+"""Unit tests for the small-grid (Definition 2)."""
+
+from repro.bitset import EWAHBitset
+from repro.grid.small_grid import SmallGrid
+
+
+def make_grid():
+    return SmallGrid(width=1.0, dimension=2, bitset_cls=EWAHBitset)
+
+
+class TestAddPoint:
+    def test_fresh_cell_reports_one(self):
+        grid = make_grid()
+        reached, first = grid.add_point(3, (0, 0))
+        assert (reached, first) == (1, 3)
+        assert grid.cell((0, 0)).bitset.get(3)
+
+    def test_duplicate_same_object_is_noop(self):
+        grid = make_grid()
+        grid.add_point(1, (0, 0))
+        reached, first = grid.add_point(1, (0, 0))
+        assert reached is None
+        assert first == 1
+        assert grid.cell((0, 0)).distinct_objects == 1
+
+    def test_second_object_reports_two_and_first_oid(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0))
+        reached, first = grid.add_point(4, (0, 0))
+        assert (reached, first) == (2, 0)
+        cell = grid.cell((0, 0))
+        assert cell.distinct_objects == 2
+        assert list(cell.bitset.iter_set_bits()) == [0, 4]
+
+    def test_third_object_reports_three(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0))
+        grid.add_point(1, (0, 0))
+        reached, _first = grid.add_point(2, (0, 0))
+        assert reached == 3
+
+    def test_cells_created_on_demand_only(self):
+        grid = make_grid()
+        grid.add_point(0, (5, 5))
+        assert len(grid) == 1
+        assert grid.cell((0, 0)) is None
+
+    def test_interleaved_cells_track_last_oid_per_cell(self):
+        grid = make_grid()
+        grid.add_point(0, (0, 0))
+        grid.add_point(0, (1, 0))
+        grid.add_point(0, (0, 0))  # back to the first cell, same object
+        assert grid.cell((0, 0)).distinct_objects == 1
+        grid.add_point(1, (0, 0))
+        assert grid.cell((0, 0)).distinct_objects == 2
+
+
+class TestMemory:
+    def test_memory_grows_with_cells(self):
+        grid = make_grid()
+        empty = grid.memory_bytes()
+        grid.add_point(0, (0, 0))
+        one = grid.memory_bytes()
+        grid.add_point(0, (9, 9))
+        two = grid.memory_bytes()
+        assert empty == 0 < one < two

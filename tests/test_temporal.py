@@ -1,0 +1,118 @@
+"""Tests for the temporal MIO extension (Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objects import ObjectCollection
+from repro.core.temporal import TemporalMIOEngine
+
+from conftest import oracle_temporal_scores, random_collection
+
+
+class TestExactness:
+    @pytest.mark.parametrize("delta", [0.5, 2.0, 10.0])
+    def test_matches_oracle(self, delta):
+        collection = random_collection(n=25, mean_points=6, seed=61, with_timestamps=True)
+        truth = oracle_temporal_scores(collection, 2.0, delta)
+        result = TemporalMIOEngine(collection).query(2.0, delta)
+        assert result.score == max(truth)
+        assert truth[result.winner] == result.score
+
+    def test_delta_zero_exact_timestamps(self):
+        # Hand-built: only o0/o1 share both space and an exact timestamp.
+        collection = ObjectCollection.from_point_arrays(
+            [
+                np.array([[0.0, 0.0], [1.0, 0.0]]),
+                np.array([[0.1, 0.0], [9.0, 9.0]]),
+                np.array([[0.2, 0.0]]),
+            ],
+            [
+                np.array([1.0, 2.0]),
+                np.array([1.0, 3.0]),
+                np.array([5.0]),  # co-located with o0/o1 but never co-temporal
+            ],
+        )
+        result = TemporalMIOEngine(collection).query(1.0, 0.0)
+        assert result.score == 1
+        assert result.winner in (0, 1)
+
+    def test_delta_zero_random(self):
+        collection = random_collection(n=20, mean_points=5, seed=62, with_timestamps=True)
+        # Quantize timestamps so exact matches exist.
+        quantized = ObjectCollection.from_point_arrays(
+            [obj.points for obj in collection],
+            [np.round(obj.timestamps) for obj in collection],
+        )
+        truth = oracle_temporal_scores(quantized, 3.0, 0.0)
+        result = TemporalMIOEngine(quantized).query(3.0, 0.0)
+        assert result.score == max(truth)
+
+    def test_large_delta_reduces_to_spatial(self):
+        collection = random_collection(n=20, mean_points=5, seed=63, with_timestamps=True)
+        spatial_truth = oracle_temporal_scores(collection, 2.0, delta=1e9)
+        result = TemporalMIOEngine(collection).query(2.0, 1e9)
+        assert result.score == max(spatial_truth)
+
+    def test_3d_with_time(self):
+        collection = random_collection(
+            n=15, mean_points=5, dimension=3, seed=64, with_timestamps=True
+        )
+        truth = oracle_temporal_scores(collection, 3.0, 1.5)
+        result = TemporalMIOEngine(collection).query(3.0, 1.5)
+        assert result.score == max(truth)
+
+
+class TestTighterDeltaNeverIncreasesScores:
+    def test_monotone_in_delta(self):
+        collection = random_collection(n=20, mean_points=5, seed=65, with_timestamps=True)
+        engine = TemporalMIOEngine(collection)
+        scores = [engine.query(2.0, delta).score for delta in (0.5, 1.0, 4.0, 16.0)]
+        assert scores == sorted(scores)
+
+
+class TestValidation:
+    def test_requires_timestamps(self, clustered_collection):
+        with pytest.raises(ValueError):
+            TemporalMIOEngine(clustered_collection)
+
+    def test_invalid_thresholds(self):
+        collection = random_collection(n=5, mean_points=3, seed=66, with_timestamps=True)
+        engine = TemporalMIOEngine(collection)
+        with pytest.raises(ValueError):
+            engine.query(0.0, 1.0)
+        with pytest.raises(ValueError):
+            engine.query(1.0, -0.5)
+
+
+class TestMetadata:
+    def test_phases_and_counters(self):
+        collection = random_collection(n=15, mean_points=5, seed=67, with_timestamps=True)
+        result = TemporalMIOEngine(collection).query(2.0, 2.0)
+        assert result.algorithm == "bigrid-temporal"
+        assert "grid_mapping" in result.phases
+        assert result.counters["time_bins"] >= 1
+        assert result.memory_bytes > 0
+
+    def test_negative_timestamps_supported(self):
+        collection = ObjectCollection.from_point_arrays(
+            [np.array([[0.0, 0.0]]), np.array([[0.1, 0.0]])],
+            [np.array([-5.0]), np.array([-5.5])],
+        )
+        result = TemporalMIOEngine(collection).query(1.0, 1.0)
+        assert result.score == 1
+
+
+class TestExtremeDeltas:
+    """Regressions found by hypothesis: tiny deltas must not overflow."""
+
+    def test_denormal_delta(self):
+        collection = random_collection(n=6, mean_points=3, seed=68, with_timestamps=True)
+        truth = oracle_temporal_scores(collection, 2.0, 1.1125369292536007e-308)
+        result = TemporalMIOEngine(collection).query(2.0, 1.1125369292536007e-308)
+        assert result.score == max(truth)
+
+    def test_small_delta_bins_as_python_ints(self):
+        collection = random_collection(n=5, mean_points=3, seed=69, with_timestamps=True)
+        truth = oracle_temporal_scores(collection, 2.0, 1e-18)
+        result = TemporalMIOEngine(collection).query(2.0, 1e-18)
+        assert result.score == max(truth)

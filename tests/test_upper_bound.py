@@ -1,0 +1,110 @@
+"""Unit tests for upper-bounding and pruning (Algorithm 5 / Lemma 2)."""
+
+from repro.core.labels import GRID_BIT, UPPER_BIT, PointLabels
+from repro.core.lower_bound import compute_lower_bounds
+from repro.core.query import PhaseStats
+from repro.core.upper_bound import compute_upper_bounds
+from repro.grid.bigrid import BIGrid
+
+from conftest import oracle_scores, random_collection
+
+
+class TestSoundness:
+    def test_upper_bound_never_below_score(self):
+        collection = random_collection(n=30, mean_points=6, seed=31)
+        for r in (1.0, 2.5, 5.0):
+            bigrid = BIGrid.build(collection, r=r)
+            upper = compute_upper_bounds(bigrid, tau_max_low=0)
+            truth = oracle_scores(collection, r)
+            for oid in range(collection.n):
+                assert upper.values[oid] >= truth[oid]
+
+    def test_bounds_sandwich_scores(self):
+        collection = random_collection(n=25, mean_points=6, seed=32)
+        r = 2.0
+        bigrid = BIGrid.build(collection, r=r)
+        lower = compute_lower_bounds(bigrid)
+        upper = compute_upper_bounds(bigrid, tau_max_low=0)
+        truth = oracle_scores(collection, r)
+        for oid in range(collection.n):
+            assert lower.values[oid] <= truth[oid] <= upper.values[oid]
+
+
+class TestPruning:
+    def test_true_winner_survives_pruning(self):
+        collection = random_collection(n=40, mean_points=6, seed=33)
+        r = 2.0
+        bigrid = BIGrid.build(collection, r=r)
+        lower = compute_lower_bounds(bigrid)
+        upper = compute_upper_bounds(bigrid, tau_max_low=lower.tau_max)
+        truth = oracle_scores(collection, r)
+        best = max(truth)
+        winners = {oid for oid, score in enumerate(truth) if score == best}
+        surviving = {oid for _, oid in upper.candidates}
+        assert winners & surviving == winners
+
+    def test_candidates_sorted_descending(self):
+        collection = random_collection(n=30, mean_points=6, seed=34)
+        bigrid = BIGrid.build(collection, r=2.0)
+        upper = compute_upper_bounds(bigrid, tau_max_low=0)
+        bounds = [bound for bound, _ in upper.candidates]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_threshold_prunes(self):
+        collection = random_collection(n=30, mean_points=6, seed=35)
+        bigrid = BIGrid.build(collection, r=2.0)
+        all_candidates = compute_upper_bounds(bigrid, tau_max_low=0).candidates
+        strict = compute_upper_bounds(bigrid, tau_max_low=max(v for v, _ in all_candidates))
+        assert len(strict.candidates) <= len(all_candidates)
+
+    def test_stats(self):
+        collection = random_collection(n=20, mean_points=5, seed=36)
+        bigrid = BIGrid.build(collection, r=2.0)
+        stats = PhaseStats()
+        result = compute_upper_bounds(bigrid, tau_max_low=0, stats=stats)
+        assert stats.counters["candidates"] == len(result.candidates)
+        assert stats.counters["candidates"] + stats.counters["pruned_objects"] == collection.n
+        assert stats.counters["adj_unions_computed"] == len(bigrid.large_grid)
+
+
+class TestLabeling:
+    def test_labeling_1_marks_isolated_cells(self):
+        # Two far-apart objects: every large cell is single-object.
+        collection = random_collection(n=2, mean_points=4, seed=37, extent=1000.0, clustered=False)
+        bigrid = BIGrid.build(collection, r=0.5)
+        labeler = PointLabels.for_collection(collection, 0.5)
+        compute_upper_bounds(bigrid, tau_max_low=0, labeler=labeler)
+        cleared = labeler.count_cleared()
+        assert cleared["grid"] == collection.total_points
+
+    def test_labeling_2_marks_redundant_points(self):
+        collection = random_collection(n=10, mean_points=10, seed=38)
+        bigrid = BIGrid.build(collection, r=3.0)
+        labeler = PointLabels.for_collection(collection, 3.0)
+        compute_upper_bounds(bigrid, tau_max_low=0, labeler=labeler)
+        # At minimum every duplicate point of a key group gets marked.
+        duplicates = sum(
+            len(points) - 1
+            for groups in bigrid.object_groups
+            for points in groups.values()
+        )
+        assert labeler.count_cleared()["upper"] >= duplicates
+
+    def test_upper_masks_reproduce_bounds(self):
+        """Replaying with the labels it produced yields identical bounds."""
+        collection = random_collection(n=25, mean_points=8, seed=39)
+        r = 2.0
+        bigrid = BIGrid.build(collection, r=r)
+        labeler = PointLabels.for_collection(collection, r)
+        original = compute_upper_bounds(bigrid, tau_max_low=0, labeler=labeler)
+        # Rebuild (fresh adj unions) and replay with masks.
+        bigrid2 = BIGrid.build(collection, r=r, point_filter=labeler.grid_mask)
+        replay = compute_upper_bounds(bigrid2, tau_max_low=0, upper_masks=labeler.upper_mask)
+        assert replay.values == original.values
+
+    def test_label_bits_are_independent(self):
+        labels = PointLabels([4], r=2.0)
+        labels.mark_upper_skippable(0, [1])
+        labels.mark_verify_skippable(0, [1])
+        assert labels.arrays[0][1] == GRID_BIT  # only the grid bit remains
+        assert labels.arrays[0][0] == GRID_BIT | UPPER_BIT | 0b001

@@ -1,0 +1,98 @@
+"""Unit tests for best-first verification (Algorithm 6 / Corollary 1)."""
+
+import pytest
+
+from repro.core.lower_bound import compute_lower_bounds
+from repro.core.query import PhaseStats
+from repro.core.upper_bound import compute_upper_bounds
+from repro.core.verification import verify_candidates
+from repro.grid.bigrid import BIGrid
+
+from conftest import oracle_scores, random_collection
+
+
+def pipeline(collection, r):
+    bigrid = BIGrid.build(collection, r=r)
+    lower = compute_lower_bounds(bigrid)
+    upper = compute_upper_bounds(bigrid, tau_max_low=lower.tau_max)
+    return bigrid, upper.candidates
+
+
+class TestExactness:
+    def test_winner_matches_oracle(self):
+        collection = random_collection(n=40, mean_points=6, seed=41)
+        for r in (1.0, 2.0, 4.0):
+            bigrid, candidates = pipeline(collection, r)
+            result = verify_candidates(bigrid, candidates, r)
+            truth = oracle_scores(collection, r)
+            winner, score = result.ranking[0]
+            assert score == max(truth)
+            assert truth[winner] == score
+
+    def test_all_candidate_scores_exact_when_forced(self):
+        """With no pruning threshold, every verified score equals the oracle."""
+        collection = random_collection(n=20, mean_points=5, seed=42)
+        r = 2.0
+        bigrid = BIGrid.build(collection, r=r)
+        candidates = compute_upper_bounds(bigrid, tau_max_low=0).candidates
+        # k = n disables early termination: every object is ranked.
+        result = verify_candidates(bigrid, candidates, r, k=collection.n)
+        truth = oracle_scores(collection, r)
+        assert len(result.ranking) == collection.n
+        for oid, score in result.ranking:
+            assert score == truth[oid]
+
+
+class TestEarlyTermination:
+    def test_early_termination_happens_on_skewed_data(self):
+        collection = random_collection(n=60, mean_points=6, seed=43)
+        r = 2.0
+        bigrid, candidates = pipeline(collection, r)
+        stats = PhaseStats()
+        result = verify_candidates(bigrid, candidates, r, stats=stats)
+        # With any pruning at all, fewer objects are verified than exist.
+        assert result.verified <= len(candidates)
+        assert stats.counters["verified_objects"] == result.verified
+
+    def test_first_candidate_always_verified(self):
+        collection = random_collection(n=10, mean_points=4, seed=44)
+        bigrid, candidates = pipeline(collection, 2.0)
+        result = verify_candidates(bigrid, candidates, 2.0)
+        assert result.verified >= 1
+
+
+class TestTopK:
+    def test_topk_matches_oracle(self):
+        collection = random_collection(n=30, mean_points=6, seed=45)
+        r = 2.0
+        truth = sorted(oracle_scores(collection, r), reverse=True)
+        bigrid = BIGrid.build(collection, r=r)
+        lower = compute_lower_bounds(bigrid)
+        for k in (1, 3, 7):
+            threshold = sorted(lower.values, reverse=True)[k - 1] if k <= collection.n else 0
+            candidates = compute_upper_bounds(bigrid, tau_max_low=threshold).candidates
+            result = verify_candidates(bigrid, candidates, r, k=k)
+            assert [score for _, score in result.ranking] == truth[:k]
+
+    def test_ranking_sorted_desc_with_oid_ties(self):
+        collection = random_collection(n=20, mean_points=5, seed=46)
+        bigrid, candidates = pipeline(collection, 2.0)
+        result = verify_candidates(bigrid, candidates, 2.0, k=5)
+        scores = [score for _, score in result.ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_k(self):
+        collection = random_collection(n=5, mean_points=3, seed=47)
+        bigrid, candidates = pipeline(collection, 2.0)
+        with pytest.raises(ValueError):
+            verify_candidates(bigrid, candidates, 2.0, k=0)
+
+
+class TestCounters:
+    def test_distance_rows_counted(self):
+        collection = random_collection(n=20, mean_points=6, seed=48)
+        bigrid, candidates = pipeline(collection, 2.0)
+        stats = PhaseStats()
+        verify_candidates(bigrid, candidates, 2.0, stats=stats)
+        assert stats.counters["distance_rows"] >= 0
+        assert stats.counters["posting_checks"] >= 0
