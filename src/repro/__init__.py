@@ -19,6 +19,7 @@ See README.md for the architecture overview and DESIGN.md for the mapping
 from paper sections to modules.
 """
 
+from repro import faults
 from repro.analysis import all_scores, interacting_partners, interaction_graph
 from repro.baselines import (
     KDTreeNestedLoop,
@@ -27,7 +28,7 @@ from repro.baselines import (
     SimpleGridAlgorithm,
     TheoreticalAlgorithm,
 )
-from repro.bitset import EWAHBitset, PlainBitset, bitset_class
+from repro.bitset import EWAHBitset, PlainBitset, bitset_class, resolve_backend
 from repro.core import (
     LabelStore,
     MIOEngine,
@@ -38,6 +39,15 @@ from repro.core import (
     TemporalMIOEngine,
 )
 from repro.dynamic import DynamicMIO
+from repro.errors import (
+    BackendUnavailableError,
+    CorruptDataError,
+    InjectedFault,
+    InvalidQueryError,
+    PartitionTaskError,
+    QueryTimeout,
+    ReproError,
+)
 from repro.progressive import ProgressiveState, query_progressive
 from repro.datasets import (
     load_dataset,
@@ -48,12 +58,22 @@ from repro.datasets import (
 )
 from repro.grid import BIGrid
 from repro.parallel import ParallelMIOEngine
+from repro.resilience import Deadline, ManualClock
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BIGrid",
+    "BackendUnavailableError",
+    "CorruptDataError",
+    "Deadline",
     "DynamicMIO",
+    "InjectedFault",
+    "InvalidQueryError",
+    "ManualClock",
+    "PartitionTaskError",
+    "QueryTimeout",
+    "ReproError",
     "ProgressiveState",
     "all_scores",
     "interacting_partners",
@@ -74,11 +94,13 @@ __all__ = [
     "TemporalMIOEngine",
     "TheoreticalAlgorithm",
     "bitset_class",
+    "faults",
     "load_dataset",
     "make_neurons",
     "make_powerlaw",
     "make_trajectories",
     "query_progressive",
+    "resolve_backend",
     "sample_collection",
     "__version__",
 ]

@@ -11,7 +11,13 @@ baseline used by the compression ablation (footnote 4),
 
 from repro.bitset.base import Bitset
 from repro.bitset.ewah import EWAHBitset
-from repro.bitset.factory import available_backends, bitset_class
+from repro.bitset.factory import (
+    FALLBACK_CHAIN,
+    available_backends,
+    backend_available,
+    bitset_class,
+    resolve_backend,
+)
 from repro.bitset.plain import PlainBitset
 from repro.bitset.roaring import RoaringBitset
 
@@ -20,6 +26,9 @@ __all__ = [
     "EWAHBitset",
     "PlainBitset",
     "RoaringBitset",
+    "FALLBACK_CHAIN",
     "available_backends",
+    "backend_available",
     "bitset_class",
+    "resolve_backend",
 ]

@@ -1,26 +1,39 @@
-"""Backend selection for bitsets.
+"""Backend selection for bitsets, with a degradation chain.
 
 BIGrid is "orthogonal to any compressed bitset" (paper, footnote 3); the
 engine and indexes therefore take a backend name and resolve the concrete
 class here.  ``"ewah"`` is the paper's choice and the default; ``"plain"``
 is the uncompressed ablation baseline; ``"roaring"`` is the chunked
 container alternative.
+
+Because a backend is an optimization, never a correctness dependency, a
+backend that is *unavailable* (its class advertises so, or the fault
+harness marks it down) does not fail the query: :func:`resolve_backend`
+walks the fallback chain ``requested -> ewah -> plain`` and reports which
+backend actually ran so engines can record a ``degraded_backend`` note in
+the query stats.  Only an unknown name — or a chain with no survivor —
+raises :class:`~repro.errors.BackendUnavailableError`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, Tuple, Type
 
+from repro import faults
 from repro.bitset.base import Bitset
 from repro.bitset.ewah import EWAHBitset
 from repro.bitset.plain import PlainBitset
 from repro.bitset.roaring import RoaringBitset
+from repro.errors import BackendUnavailableError, InjectedFault
 
 _BACKENDS: Dict[str, Type[Bitset]] = {
     "ewah": EWAHBitset,
     "plain": PlainBitset,
     "roaring": RoaringBitset,
 }
+
+#: Degradation order tried after the requested backend.
+FALLBACK_CHAIN: Tuple[str, ...] = ("ewah", "plain")
 
 
 def available_backends() -> tuple:
@@ -31,10 +44,55 @@ def available_backends() -> tuple:
 def bitset_class(name: str) -> Type[Bitset]:
     """Resolve a backend name to its bitset class.
 
-    Raises ``ValueError`` for unknown names, listing the valid options.
+    Raises :class:`BackendUnavailableError` (a ``ValueError``) for unknown
+    names, listing the valid options.
     """
     try:
         return _BACKENDS[name]
     except KeyError:
         options = ", ".join(available_backends())
-        raise ValueError(f"unknown bitset backend {name!r} (choose from: {options})") from None
+        raise BackendUnavailableError(
+            f"unknown bitset backend {name!r} (choose from: {options})"
+        ) from None
+
+
+def backend_available(name: str) -> bool:
+    """Whether one backend is currently usable.
+
+    All bundled backends are pure Python and always importable; a class may
+    opt out by defining ``is_available()``, and the fault harness can take a
+    backend down through the ``"backend"`` injection point (matched against
+    the backend name).
+    """
+    cls = _BACKENDS.get(name)
+    if cls is None:
+        return False
+    probe = getattr(cls, "is_available", None)
+    if probe is not None and not probe():
+        return False
+    try:
+        faults.trip("backend", detail=name)
+    except InjectedFault:
+        return False
+    return True
+
+
+def resolve_backend(name: str) -> Tuple[Type[Bitset], str]:
+    """The usable class for ``name``, degrading along :data:`FALLBACK_CHAIN`.
+
+    Returns ``(cls, resolved_name)``; ``resolved_name != name`` signals a
+    degraded query.  Unknown names and a fully-down chain raise
+    :class:`BackendUnavailableError`.
+    """
+    if name not in _BACKENDS:
+        options = ", ".join(available_backends())
+        raise BackendUnavailableError(
+            f"unknown bitset backend {name!r} (choose from: {options})"
+        )
+    chain = (name,) + tuple(entry for entry in FALLBACK_CHAIN if entry != name)
+    for candidate in chain:
+        if backend_available(candidate):
+            return _BACKENDS[candidate], candidate
+    raise BackendUnavailableError(
+        f"no usable bitset backend: tried {', '.join(chain)}"
+    )

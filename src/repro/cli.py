@@ -19,9 +19,11 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro import faults
 from repro.bench.harness import run_algorithm
 from repro.bench.reporting import format_table
 from repro.core.engine import MIOEngine
@@ -34,6 +36,8 @@ from repro.datasets import (
     sample_collection,
     save_collection,
 )
+from repro.errors import ReproError
+from repro.parallel import ParallelMIOEngine
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--backend", default="ewah", choices=("ewah", "plain"))
     query.add_argument("--sample", type=float, default=1.0,
                        help="object sampling rate in (0, 1]")
+    query.add_argument("--timeout-ms", type=float, default=None,
+                       help="query deadline in milliseconds; expiring during "
+                            "verification yields an anytime (inexact) answer")
+    query.add_argument("--retries", type=int, default=2,
+                       help="per-partition-task retry budget (parallel engine)")
+    query.add_argument("--cores", type=int, default=1,
+                       help="simulated cores; >1 uses the parallel engine")
 
     compare = commands.add_parser("compare", help="run all algorithms on one query")
     compare.add_argument("path", help=".npz dataset file")
@@ -96,16 +107,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if args.topk != 1:
             print("error: --topk is not supported together with --delta", file=sys.stderr)
             return 2
+        if args.timeout_ms is not None:
+            print("warning: --timeout-ms is ignored for temporal queries",
+                  file=sys.stderr)
         result = TemporalMIOEngine(collection).query(args.r, args.delta)
     else:
-        engine = MIOEngine(collection, backend=args.backend)
-        if args.topk > 1:
-            result = engine.query_topk(args.r, args.topk)
+        if args.cores != 1:
+            engine = ParallelMIOEngine(
+                collection, cores=args.cores, backend=args.backend,
+                retries=args.retries,
+            )
         else:
-            result = engine.query(args.r)
+            engine = MIOEngine(collection, backend=args.backend)
+        if args.topk > 1:
+            result = engine.query_topk(args.r, args.topk, timeout_ms=args.timeout_ms)
+        else:
+            result = engine.query(args.r, timeout_ms=args.timeout_ms)
     print(f"algorithm : {result.algorithm}")
     print(f"winner    : o_{result.winner}")
     print(f"score     : {result.score} of {collection.n - 1} objects")
+    if not result.exact:
+        print("answer    : inexact (deadline) -- score is a verified lower bound")
+    for key, note in sorted(result.notes.items()):
+        print(f"note      : {key}: {note}")
     if result.topk:
         for rank, (oid, score) in enumerate(result.topk, start=1):
             print(f"  #{rank}: o_{oid} (tau = {score})")
@@ -147,9 +171,26 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Every :class:`~repro.errors.ReproError` subclass carries a distinct
+    ``exit_code`` (10-16), so scripts can tell a timeout from corrupt data
+    from a bad query without parsing stderr.  ``REPRO_FAULTS`` in the
+    environment installs the deterministic fault injector for chaos runs.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    injector = None
+    try:
+        injector = faults.from_env(os.environ.get("REPRO_FAULTS"))
+        if injector is not None:
+            faults.install(injector)
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return exc.exit_code
+    finally:
+        if injector is not None:
+            faults.install(None)
 
 
 if __name__ == "__main__":

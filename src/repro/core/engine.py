@@ -19,15 +19,19 @@ from __future__ import annotations
 
 import math
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro import faults
+from repro.bitset.factory import resolve_backend
 from repro.core.labels import LabelStore, PointLabels, labels_match_collection
-from repro.core.lower_bound import compute_lower_bounds
+from repro.core.lower_bound import LowerBoundResult, compute_lower_bounds
 from repro.core.objects import ObjectCollection
 from repro.core.query import MIOResult, PhaseStats
 from repro.core.upper_bound import compute_upper_bounds
-from repro.core.verification import verify_candidates
+from repro.core.verification import VerificationResult, verify_candidates
+from repro.errors import InvalidQueryError
 from repro.grid.bigrid import BIGrid
+from repro.resilience import Deadline, checkpoint
 
 
 class MIOEngine:
@@ -57,7 +61,7 @@ class MIOEngine:
         label_reuse: str = "safe",
     ) -> None:
         if label_reuse not in ("safe", "paper"):
-            raise ValueError('label_reuse must be "safe" or "paper"')
+            raise InvalidQueryError('label_reuse must be "safe" or "paper"')
         self.collection = collection
         self.backend = backend
         self.label_store = label_store
@@ -69,15 +73,36 @@ class MIOEngine:
     # Public API
     # ------------------------------------------------------------------
 
-    def query(self, r: float) -> MIOResult:
-        """Answer an MIO query: the most interactive object under ``r``."""
-        return self._run(r, k=1, want_ranking=False)
+    def query(
+        self,
+        r: float,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> MIOResult:
+        """Answer an MIO query: the most interactive object under ``r``.
 
-    def query_topk(self, r: float, k: int) -> MIOResult:
+        With a ``timeout_ms`` budget (or an explicit ``deadline``), the
+        filter phases raise :class:`~repro.errors.QueryTimeout` on expiry,
+        while an expiry during verification returns an anytime result
+        (``exact=False``) carrying a verified lower-bound answer.
+        """
+        return self._run(
+            r, k=1, want_ranking=False, deadline=_deadline(timeout_ms, deadline)
+        )
+
+    def query_topk(
+        self,
+        r: float,
+        k: int,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> MIOResult:
         """Answer the top-k variant: the k most interactive objects."""
         if k < 1:
-            raise ValueError("k must be at least 1")
-        return self._run(r, k=k, want_ranking=True)
+            raise InvalidQueryError("k must be at least 1")
+        return self._run(
+            r, k=k, want_ranking=True, deadline=_deadline(timeout_ms, deadline)
+        )
 
     def query_batch(self, r_values) -> List[MIOResult]:
         """Answer a batch of MIO queries, maximizing label reuse.
@@ -113,23 +138,40 @@ class MIOEngine:
     # Pipeline
     # ------------------------------------------------------------------
 
-    def _run(self, r: float, k: int, want_ranking: bool) -> MIOResult:
+    def _run(
+        self,
+        r: float,
+        k: int,
+        want_ranking: bool,
+        deadline: Optional[Deadline] = None,
+    ) -> MIOResult:
         if r <= 0:
-            raise ValueError("the distance threshold r must be positive")
+            raise InvalidQueryError("the distance threshold r must be positive")
         stats = PhaseStats()
         ceil_r = math.ceil(r)
+        notes: Dict[str, str] = {}
+
+        # Backend degradation chain: an unavailable backend downgrades the
+        # query instead of failing it, and the downgrade is recorded.
+        _, resolved_backend = resolve_backend(self.backend)
+        if resolved_backend != self.backend:
+            notes["degraded_backend"] = f"{self.backend}->{resolved_backend}"
+            stats.set_count("degraded_backend", 1)
 
         labels = self._load_labels(ceil_r, stats)
         labeling = self.label_store is not None and labels is None
         labeler = PointLabels.for_collection(self.collection, r) if labeling else None
 
         # GRID-MAPPING (Algorithm 3), skipping label(p) = 0** points.
+        faults.trip("grid_mapping")
+        checkpoint(deadline, "grid_mapping")
         started = time.perf_counter()
         bigrid = BIGrid.build(
             self.collection,
             r,
-            backend=self.backend,
+            backend=resolved_backend,
             point_filter=labels.grid_mask if labels is not None else None,
+            deadline=deadline,
         )
         stats.add_time("grid_mapping", time.perf_counter() - started)
         stats.set_count("small_cells", len(bigrid.small_grid))
@@ -139,12 +181,18 @@ class MIOEngine:
 
         # LOWER-BOUNDING (Algorithm 4).  The WITH-LABEL variant keeps the
         # union bitsets to seed verification.
+        faults.trip("lower_bounding")
+        checkpoint(deadline, "lower_bounding")
         started = time.perf_counter()
-        lower = compute_lower_bounds(bigrid, keep_bitsets=labels is not None, stats=stats)
+        lower = compute_lower_bounds(
+            bigrid, keep_bitsets=labels is not None, stats=stats, deadline=deadline
+        )
         stats.add_time("lower_bounding", time.perf_counter() - started)
         threshold = lower.tau_max if k == 1 else _kth_largest(lower.values, k)
 
         # UPPER-BOUNDING + pruning (Algorithm 5).
+        faults.trip("upper_bounding")
+        checkpoint(deadline, "upper_bounding")
         started = time.perf_counter()
         upper = compute_upper_bounds(
             bigrid,
@@ -152,10 +200,15 @@ class MIOEngine:
             upper_masks=labels.upper_mask if labels is not None else None,
             labeler=labeler,
             stats=stats,
+            deadline=deadline,
         )
         stats.add_time("upper_bounding", time.perf_counter() - started)
 
-        # VERIFICATION (Algorithm 6 / top-k variant).
+        # VERIFICATION (Algorithm 6 / top-k variant).  From here on an
+        # expired deadline degrades to an anytime answer instead of raising:
+        # every settled candidate's score is exact, so the best one is a
+        # correct lower bound on the optimum (Corollary 1).
+        faults.trip("verification")
         started = time.perf_counter()
         verification = verify_candidates(
             bigrid,
@@ -168,8 +221,19 @@ class MIOEngine:
             verify_masks=self._verify_masks(labels, r),
             labeler=labeler,
             stats=stats,
+            deadline=deadline,
         )
         stats.add_time("verification", time.perf_counter() - started)
+        stats.set_count("candidates_total", len(upper.candidates))
+        stats.set_count("candidates_settled", verification.verified)
+
+        if verification.timed_out:
+            # A partial labeling pass must not be persisted: its marks are
+            # individually sound but the store would record the pass as
+            # complete for this ceil(r).
+            return self._anytime_result(
+                r, lower, verification, stats, bigrid, labels, notes, want_ranking
+            )
 
         if labeler is not None:
             started = time.perf_counter()
@@ -191,6 +255,50 @@ class MIOEngine:
             phases=stats.phases,
             counters=stats.counters,
             memory_bytes=bigrid.memory_bytes(),
+            notes=notes,
+        )
+
+    def _anytime_result(
+        self,
+        r: float,
+        lower: LowerBoundResult,
+        verification: VerificationResult,
+        stats: PhaseStats,
+        bigrid: BIGrid,
+        labels: Optional[PointLabels],
+        notes: Dict[str, str],
+        want_ranking: bool,
+    ) -> MIOResult:
+        """Best verified answer under an expired deadline (``exact=False``).
+
+        Two certified lower bounds are available: the best *exact* score
+        among settled candidates, and the best Lemma-1 lower bound over all
+        objects.  Both are correct; the larger one wins.  The result's score
+        is therefore always ``<= tau(winner) <=`` the true optimum.
+        """
+        ranking = verification.ranking
+        best_lb_oid = max(
+            range(bigrid.collection.n),
+            key=lambda oid: (lower.values[oid], -oid),
+        )
+        best_lb = lower.values[best_lb_oid]
+        if ranking and ranking[0][1] >= best_lb:
+            winner, score = ranking[0]
+        else:
+            winner, score = best_lb_oid, best_lb
+        notes = dict(notes)
+        notes["anytime"] = "deadline expired during verification"
+        return MIOResult(
+            algorithm="bigrid-label" if labels is not None else "bigrid",
+            r=r,
+            winner=winner,
+            score=score,
+            topk=ranking if want_ranking and ranking else None,
+            phases=stats.phases,
+            counters=stats.counters,
+            memory_bytes=bigrid.memory_bytes(),
+            exact=False,
+            notes=notes,
         )
 
     # ------------------------------------------------------------------
@@ -225,3 +333,12 @@ def _kth_largest(values: List[int], k: int) -> int:
     if k > len(values):
         return 0
     return sorted(values, reverse=True)[k - 1]
+
+
+def _deadline(
+    timeout_ms: Optional[float], deadline: Optional[Deadline]
+) -> Optional[Deadline]:
+    """An explicit deadline wins; otherwise budget ``timeout_ms`` from now."""
+    if deadline is not None:
+        return deadline
+    return Deadline.from_timeout_ms(timeout_ms)

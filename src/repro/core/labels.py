@@ -32,6 +32,8 @@ from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import CorruptDataError
+
 from repro.core.objects import ObjectCollection
 
 #: Bit masks within a label byte.
@@ -157,11 +159,14 @@ class LabelStore:
         path = self._path(ceil_r)
         if not path.exists():
             return None
-        with np.load(path) as archive:
-            count = int(archive["count"])
-            labels = PointLabels.__new__(PointLabels)
-            labels.r = float(archive["r"])
-            labels.arrays = [archive[f"o{i}"] for i in range(count)]
+        try:
+            with np.load(path) as archive:
+                count = int(archive["count"])
+                labels = PointLabels.__new__(PointLabels)
+                labels.r = float(archive["r"])
+                labels.arrays = [archive[f"o{i}"] for i in range(count)]
+        except Exception as exc:
+            raise CorruptDataError(f"{path}: not a valid label archive ({exc})") from exc
         self._cache[ceil_r] = labels
         return labels
 

@@ -19,6 +19,7 @@ from typing import List, Optional
 from repro.bitset.base import Bitset
 from repro.core.query import PhaseStats
 from repro.grid.bigrid import BIGrid
+from repro.resilience import Deadline, checkpoint
 
 
 @dataclass
@@ -36,8 +37,13 @@ def compute_lower_bounds(
     bigrid: BIGrid,
     keep_bitsets: bool = False,
     stats: Optional[PhaseStats] = None,
+    deadline: Optional[Deadline] = None,
 ) -> LowerBoundResult:
-    """LOWER-BOUNDING(O, r): one bitwise-OR pass over the key lists."""
+    """LOWER-BOUNDING(O, r): one bitwise-OR pass over the key lists.
+
+    An expired ``deadline`` raises ``QueryTimeout`` between objects (bounds
+    for a prefix of the collection prune nothing soundly on their own).
+    """
     small_grid = bigrid.small_grid
     bitset_cls = small_grid.bitset_cls
     values: List[int] = []
@@ -47,6 +53,7 @@ def compute_lower_bounds(
 
     cells = small_grid.cells
     for oid in range(bigrid.collection.n):
+        checkpoint(deadline, "lower_bounding")
         keys = bigrid.key_lists[oid]
         # The ORs run on the cells' cached big-int forms (C-speed word ops,
         # the Python analogue of EWAH's word-aligned merge).

@@ -13,6 +13,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.geometry import bounding_box
+from repro.errors import CorruptDataError, InvalidQueryError
 
 
 class SpatialObject:
@@ -28,21 +29,31 @@ class SpatialObject:
     ) -> None:
         points = np.ascontiguousarray(points, dtype=np.float64)
         if points.ndim != 2:
-            raise ValueError(f"points must be a (m, d) array, got shape {points.shape}")
+            raise InvalidQueryError(
+                f"points must be a (m, d) array, got shape {points.shape}"
+            )
         if points.shape[1] not in (2, 3):
-            raise ValueError(
+            raise InvalidQueryError(
                 f"only 2-D and 3-D points are supported, got d={points.shape[1]}"
             )
         if len(points) == 0:
-            raise ValueError("an object must contain at least one point")
+            raise InvalidQueryError(
+                f"object {oid}: an object must contain at least one point"
+            )
         if not np.isfinite(points).all():
-            raise ValueError("point coordinates must be finite (no NaN/inf)")
+            # Non-finite coordinates hash to garbage grid cells and would
+            # silently produce wrong scores; fail loudly at the boundary.
+            raise CorruptDataError(
+                f"object {oid}: point coordinates must be finite (no NaN/inf)"
+            )
         if timestamps is not None:
             timestamps = np.ascontiguousarray(timestamps, dtype=np.float64)
             if timestamps.shape != (len(points),):
-                raise ValueError("timestamps must align with points")
+                raise InvalidQueryError(f"object {oid}: timestamps must align with points")
             if not np.isfinite(timestamps).all():
-                raise ValueError("timestamps must be finite (no NaN/inf)")
+                raise CorruptDataError(
+                    f"object {oid}: timestamps must be finite (no NaN/inf)"
+                )
         self.oid = int(oid)
         self.points = points
         self.timestamps = timestamps
@@ -80,13 +91,21 @@ class ObjectCollection:
     def __init__(self, objects: Sequence[SpatialObject]) -> None:
         objects = list(objects)
         if not objects:
-            raise ValueError("a collection must contain at least one object")
+            raise InvalidQueryError("a collection must contain at least one object")
         dimension = objects[0].dimension
+        seen_oids = set()
         for position, obj in enumerate(objects):
             if obj.dimension != dimension:
-                raise ValueError("all objects must share one dimensionality")
+                raise InvalidQueryError("all objects must share one dimensionality")
+            if obj.oid in seen_oids:
+                # A duplicate id would alias two objects in every per-cell
+                # bitset, corrupting all three bound computations.
+                raise CorruptDataError(
+                    f"duplicate object id {obj.oid} at position {position}"
+                )
+            seen_oids.add(obj.oid)
             if obj.oid != position:
-                raise ValueError(
+                raise InvalidQueryError(
                     f"object ids must be contiguous positions; found oid={obj.oid} "
                     f"at position {position} (use from_point_arrays to renumber)"
                 )

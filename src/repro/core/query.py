@@ -52,6 +52,14 @@ class MIOResult:
     #: Free-form floats (e.g. the parallel engine's per-phase serial times
     #: and core loads) that don't belong in ``phases``/``counters``.
     extra: Dict[str, float] = field(default_factory=dict)
+    #: False for an *anytime* answer returned under an expired deadline:
+    #: ``score`` is then a verified lower bound on the true optimum (the
+    #: best-first loop's intermediate state is correct by Corollary 1) and
+    #: ``counters["candidates_settled"]`` says how far verification got.
+    exact: bool = True
+    #: Degradation notes, e.g. ``notes["degraded_backend"] = "roaring->ewah"``
+    #: when the requested bitset backend was unavailable and a fallback ran.
+    notes: Dict[str, str] = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
@@ -63,8 +71,9 @@ class MIOResult:
         return self.phases.get(phase, 0.0)
 
     def __repr__(self) -> str:
+        marker = "" if self.exact else ", exact=False"
         return (
             f"MIOResult(algorithm={self.algorithm!r}, r={self.r}, "
             f"winner={self.winner}, score={self.score}, "
-            f"time={self.total_time:.4f}s)"
+            f"time={self.total_time:.4f}s{marker})"
         )

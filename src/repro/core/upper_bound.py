@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.labels import PointLabels
 from repro.core.query import PhaseStats
 from repro.grid.bigrid import BIGrid
+from repro.resilience import Deadline, checkpoint
 
 #: ``(upper_bound, oid)`` of a surviving candidate.
 Candidate = Tuple[int, int]
@@ -47,8 +48,13 @@ def compute_upper_bounds(
     upper_masks: Optional[MaskProvider] = None,
     labeler: Optional[PointLabels] = None,
     stats: Optional[PhaseStats] = None,
+    deadline: Optional[Deadline] = None,
 ) -> UpperBoundResult:
-    """UPPER-BOUNDING(O, r, tau_max_low): bound, prune, sort."""
+    """UPPER-BOUNDING(O, r, tau_max_low): bound, prune, sort.
+
+    An expired ``deadline`` raises ``QueryTimeout`` between objects (a
+    partial candidate set could silently drop the true answer).
+    """
     large_grid = bigrid.large_grid
     values: List[int] = []
     candidates: List[Candidate] = []
@@ -56,6 +62,7 @@ def compute_upper_bounds(
     adj_before = large_grid.adj_computed
 
     for oid in range(bigrid.collection.n):
+        checkpoint(deadline, "upper_bounding")
         # One conversion per object: plain-list indexing beats per-group
         # numpy fancy indexing for the small groups real data produces.
         mask = upper_masks(oid).tolist() if upper_masks is not None else None

@@ -29,7 +29,9 @@ from repro.bitset.base import Bitset
 from repro.core.labels import PointLabels
 from repro.core.query import PhaseStats
 from repro.core.upper_bound import Candidate
+from repro.errors import InvalidQueryError, QueryTimeout
 from repro.grid.bigrid import BIGrid
+from repro.resilience import Deadline, checkpoint
 
 
 @dataclass
@@ -40,6 +42,11 @@ class VerificationResult:
     ranking: List[Tuple[int, int]]
     verified: int
     early_terminated: bool
+    #: True when a deadline expired mid-verification.  The ranking then holds
+    #: only the candidates settled so far — still exact scores, so the best
+    #: of them is a *verified lower bound* on the optimum (Corollary 1) and
+    #: the engine can return it as an anytime answer.
+    timed_out: bool = False
 
 
 MaskProvider = Callable[[int], np.ndarray]
@@ -66,28 +73,45 @@ def verify_candidates(
     verify_masks: Optional[MaskProvider] = None,
     labeler: Optional[PointLabels] = None,
     stats: Optional[PhaseStats] = None,
+    deadline: Optional[Deadline] = None,
 ) -> VerificationResult:
     """VERIFICATION(O_cand, r): exact scores, best-first, early stop.
 
     ``k=1`` is Algorithm 6; ``k>1`` is the top-k variant of Section III-C:
     the termination threshold becomes the k-th best exact score seen so far.
+
+    Verification is the *anytime* phase: when ``deadline`` expires (checked
+    between candidates and inside each candidate's point loop), the loop
+    stops, partial work on the in-flight candidate is discarded, and the
+    result reports ``timed_out=True`` with the candidates settled so far.
     """
     if k < 1:
-        raise ValueError("k must be at least 1")
+        raise InvalidQueryError("k must be at least 1")
     #: Min-heap of the k best ``(score, -oid)`` pairs seen so far.
     best_heap: List[Tuple[int, int]] = []
     counters = _Counters()
     verified = 0
     early = False
+    timed_out = False
 
     for upper, oid in candidates:
         threshold = best_heap[0][0] if len(best_heap) >= k else -1
         if upper <= threshold:
             early = True
             break
-        score = _exact_score(
-            bigrid, oid, r, initial_bitsets, verify_masks, labeler, counters
-        )
+        if deadline is not None and deadline.expired():
+            timed_out = True
+            break
+        try:
+            score = _exact_score(
+                bigrid, oid, r, initial_bitsets, verify_masks, labeler, counters,
+                deadline,
+            )
+        except QueryTimeout:
+            # The in-flight candidate's partial bitset is not an exact score;
+            # drop it and surface what is already settled.
+            timed_out = True
+            break
         verified += 1
         entry = (score, -oid)
         if len(best_heap) < k:
@@ -105,7 +129,10 @@ def verify_candidates(
         stats.set_count("posting_checks", counters.posting_checks)
         stats.set_count("verify_points_skipped", counters.points_skipped)
         stats.set_count("early_terminated", int(early))
-    return VerificationResult(ranking=ranking, verified=verified, early_terminated=early)
+        stats.set_count("verification_timed_out", int(timed_out))
+    return VerificationResult(
+        ranking=ranking, verified=verified, early_terminated=early, timed_out=timed_out
+    )
 
 
 def _exact_score(
@@ -116,6 +143,7 @@ def _exact_score(
     verify_masks: Optional[MaskProvider],
     labeler: Optional[PointLabels],
     counters: _Counters,
+    deadline: Optional[Deadline] = None,
 ) -> int:
     """Compute ``tau(o_i)`` exactly (steps 2-3 of Section III-C)."""
     collection = bigrid.collection
@@ -135,6 +163,7 @@ def _exact_score(
     mask = verify_masks(oid).tolist() if verify_masks is not None else None
 
     for key, point_indices in bigrid.object_groups[oid].items():
+        checkpoint(deadline, "verification")
         for point_index in point_indices:
             if mask is not None and not mask[point_index]:
                 counters.points_skipped += 1

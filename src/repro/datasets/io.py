@@ -14,7 +14,9 @@ from typing import List, Union
 
 import numpy as np
 
+from repro import faults
 from repro.core.objects import ObjectCollection
+from repro.errors import CorruptDataError
 
 PathLike = Union[str, Path]
 
@@ -30,18 +32,32 @@ def save_collection(path: PathLike, collection: ObjectCollection) -> None:
 
 
 def load_collection(path: PathLike) -> ObjectCollection:
-    """Read a collection written by :func:`save_collection`."""
-    with np.load(Path(path)) as archive:
-        points = archive["points"]
-        offsets = archive["offsets"]
-        timestamps = archive["timestamps"] if "timestamps" in archive.files else None
-    point_arrays = [points[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)]
-    timestamp_arrays = None
-    if timestamps is not None:
-        timestamp_arrays = [
-            timestamps[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)
+    """Read a collection written by :func:`save_collection`.
+
+    An unreadable archive, a missing array, or content that does not form a
+    valid collection raises :class:`CorruptDataError` naming ``path`` —
+    callers never see a raw ``zipfile``/``numpy`` exception.
+    """
+    path = Path(path)
+    faults.trip("io", detail=str(path))
+    try:
+        with np.load(path) as archive:
+            points = archive["points"]
+            offsets = archive["offsets"]
+            timestamps = archive["timestamps"] if "timestamps" in archive.files else None
+        point_arrays = [
+            points[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)
         ]
-    return ObjectCollection.from_point_arrays(point_arrays, timestamp_arrays)
+        timestamp_arrays = None
+        if timestamps is not None:
+            timestamp_arrays = [
+                timestamps[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)
+            ]
+        return ObjectCollection.from_point_arrays(point_arrays, timestamp_arrays)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise CorruptDataError(f"{path}: not a valid collection archive ({exc})") from exc
 
 
 def export_csv(path: PathLike, collection: ObjectCollection) -> None:
@@ -60,22 +76,39 @@ def export_csv(path: PathLike, collection: ObjectCollection) -> None:
 
 
 def import_csv(path: PathLike) -> ObjectCollection:
-    """Read a file written by :func:`export_csv`."""
-    with open(Path(path), newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader)
-        has_time = header[-1] == "t"
-        dimension = len(header) - 1 - (1 if has_time else 0)
-        points_by_oid: dict = {}
-        times_by_oid: dict = {}
-        for row in reader:
-            oid = int(row[0])
-            points_by_oid.setdefault(oid, []).append(
-                [float(value) for value in row[1:1 + dimension]]
-            )
-            if has_time:
-                times_by_oid.setdefault(oid, []).append(float(row[-1]))
-    oids = sorted(points_by_oid)
-    point_arrays = [np.asarray(points_by_oid[oid]) for oid in oids]
-    timestamp_arrays = [np.asarray(times_by_oid[oid]) for oid in oids] if has_time else None
-    return ObjectCollection.from_point_arrays(point_arrays, timestamp_arrays)
+    """Read a file written by :func:`export_csv`.
+
+    Unparseable rows, a missing/short header, or content that does not form
+    a valid collection raise :class:`CorruptDataError` naming ``path``.
+    """
+    path = Path(path)
+    faults.trip("io", detail=str(path))
+    try:
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if not header or header[0] != "oid":
+                raise CorruptDataError(f"{path}: missing oid,x,y[,z][,t] header")
+            has_time = header[-1] == "t"
+            dimension = len(header) - 1 - (1 if has_time else 0)
+            points_by_oid: dict = {}
+            times_by_oid: dict = {}
+            for row in reader:
+                oid = int(row[0])
+                points_by_oid.setdefault(oid, []).append(
+                    [float(value) for value in row[1:1 + dimension]]
+                )
+                if has_time:
+                    times_by_oid.setdefault(oid, []).append(float(row[-1]))
+        oids = sorted(points_by_oid)
+        point_arrays = [np.asarray(points_by_oid[oid]) for oid in oids]
+        timestamp_arrays = (
+            [np.asarray(times_by_oid[oid]) for oid in oids] if has_time else None
+        )
+        return ObjectCollection.from_point_arrays(point_arrays, timestamp_arrays)
+    except FileNotFoundError:
+        raise
+    except CorruptDataError:
+        raise
+    except Exception as exc:
+        raise CorruptDataError(f"{path}: not a valid collection CSV ({exc})") from exc

@@ -1,0 +1,99 @@
+"""Structured error taxonomy for the query path.
+
+Every public failure in the repository derives from :class:`ReproError`, so
+callers (the CLI, a future serving layer, retry loops) can catch one root
+type and branch on the subclass — or on ``exit_code``, which maps each
+class to a distinct nonzero process exit status.
+
+The subclasses additionally inherit the closest builtin exception
+(``ValueError``, ``TimeoutError``, ``RuntimeError``) so that pre-taxonomy
+callers catching builtins keep working: the taxonomy is an upgrade, not a
+breaking change.
+
+Taxonomy
+--------
+
+``ReproError``                 root; never raised directly            (10)
+├── ``InvalidQueryError``      bad query/config input (ValueError)    (11)
+├── ``CorruptDataError``       unreadable/inconsistent data (ValueError) (12)
+├── ``QueryTimeout``           deadline expired (TimeoutError)        (13)
+├── ``BackendUnavailableError`` no usable bitset backend (ValueError) (14)
+├── ``PartitionTaskError``     a parallel task failed after retries   (15)
+└── ``InjectedFault``          raised only by the fault harness       (16)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Root of all public failures raised by this package."""
+
+    #: Distinct nonzero process exit status for the CLI (see ``repro.cli``).
+    exit_code: int = 10
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query or configuration parameter is structurally invalid."""
+
+    exit_code = 11
+
+
+class CorruptDataError(ReproError, ValueError):
+    """Stored or supplied data cannot be parsed or is internally inconsistent."""
+
+    exit_code = 12
+
+
+class QueryTimeout(ReproError, TimeoutError):
+    """A query deadline expired in a phase that cannot return an anytime answer."""
+
+    exit_code = 13
+
+    def __init__(
+        self,
+        message: str,
+        phase: Optional[str] = None,
+        elapsed: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        #: Pipeline phase whose deadline check fired (e.g. ``"lower_bounding"``).
+        self.phase = phase
+        #: Seconds spent when the expiry was detected (None if unknown).
+        self.elapsed = elapsed
+
+
+class BackendUnavailableError(ReproError, ValueError):
+    """No bitset backend (requested or fallback) could be resolved."""
+
+    exit_code = 14
+
+
+class PartitionTaskError(ReproError, RuntimeError):
+    """A partitioned parallel task kept failing after all retries."""
+
+    exit_code = 15
+
+    def __init__(
+        self,
+        message: str,
+        task_index: Optional[int] = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        #: Index of the failing task within its fan-out round.
+        self.task_index = task_index
+        #: How many executions (first try + retries) were attempted.
+        self.attempts = attempts
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deliberate failure raised by :mod:`repro.faults` during testing."""
+
+    exit_code = 16
+
+    def __init__(self, message: str, point: Optional[str] = None) -> None:
+        super().__init__(message)
+        #: Name of the injection point that fired.
+        self.point = point

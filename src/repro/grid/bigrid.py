@@ -31,6 +31,7 @@ from repro.core.objects import ObjectCollection
 from repro.grid.keys import Key, compute_keys, large_cell_width, small_cell_width
 from repro.grid.large_grid import LargeGrid
 from repro.grid.small_grid import SmallGrid
+from repro.resilience import Deadline, checkpoint
 
 PointFilter = Callable[[int], Optional[np.ndarray]]
 
@@ -84,8 +85,14 @@ class BIGrid:
         point_filter: Optional[PointFilter] = None,
         small_width: Optional[float] = None,
         large_width: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> "BIGrid":
-        """GRID-MAPPING(O, r): build both grids in one scan of the points."""
+        """GRID-MAPPING(O, r): build both grids in one scan of the points.
+
+        An expired ``deadline`` raises ``QueryTimeout`` between objects: a
+        partially built index supports no bound, so grid mapping has no
+        anytime answer to offer.
+        """
         bitset_cls: Type[Bitset] = bitset_class(backend)
         dimension = collection.dimension
         s_width = small_width if small_width is not None else small_cell_width(r, dimension)
@@ -97,6 +104,7 @@ class BIGrid:
         mapped_points = 0
 
         for obj in collection:
+            checkpoint(deadline, "grid_mapping")
             oid = obj.oid
             indices = _selected_indices(obj.num_points, point_filter, oid)
             if len(indices) == 0:

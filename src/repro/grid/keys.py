@@ -22,6 +22,8 @@ from typing import Iterator, List, Tuple
 
 import numpy as np
 
+from repro.errors import InvalidQueryError
+
 Key = Tuple[int, ...]
 
 #: Relative guard applied to cell widths so the geometric guarantees hold
@@ -42,16 +44,16 @@ def small_cell_width(r: float, dimension: int) -> float:
     """Width of a small-grid cell: ``r / sqrt(d)`` (diagonal equals ``r``),
     shrunk by the float guard."""
     if not r > 0 or math.isinf(r):
-        raise ValueError("the distance threshold r must be positive and finite")
+        raise InvalidQueryError("the distance threshold r must be positive and finite")
     if dimension not in (2, 3):
-        raise ValueError("only 2-D and 3-D grids are supported")
+        raise InvalidQueryError("only 2-D and 3-D grids are supported")
     return (r / math.sqrt(dimension)) * (1.0 - WIDTH_GUARD)
 
 
 def large_cell_width(r: float) -> float:
     """Width of a large-grid cell: ``ceil(r)``, widened by the float guard."""
     if not r > 0 or math.isinf(r):
-        raise ValueError("the distance threshold r must be positive and finite")
+        raise InvalidQueryError("the distance threshold r must be positive and finite")
     return float(math.ceil(r)) * (1.0 + WIDTH_GUARD)
 
 

@@ -38,12 +38,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.bitset.factory import bitset_class
+from repro import faults
+from repro.bitset.factory import resolve_backend
+from repro.core.engine import MIOEngine
 from repro.core.geometry import point_sets_interact
 from repro.core.labels import LabelStore, PointLabels, labels_match_collection
 from repro.core.objects import ObjectCollection
 from repro.core.query import MIOResult
 from repro.core.verification import _bits_of
+from repro.errors import InjectedFault, InvalidQueryError, PartitionTaskError
 from repro.baselines.simple_grid import SimpleGridAlgorithm
 from repro.grid.bigrid import BIGrid
 from repro.grid.keys import compute_keys, large_cell_width, small_cell_width
@@ -51,6 +54,7 @@ from repro.grid.large_grid import LargeGrid
 from repro.grid.small_grid import SmallGrid
 from repro.parallel.executor import CoreReport, SimulatedExecutor, gc_paused
 from repro.parallel.partitioning import hash_partition, static_block_partition
+from repro.resilience import Deadline, checkpoint
 from repro.parallel.plans import (
     plan_lower_bounding_greedy_d,
     plan_upper_bounding_greedy_d,
@@ -81,49 +85,123 @@ class ParallelMIOEngine:
         ub_strategy: str = "greedy-p",
         label_store: Optional[LabelStore] = None,
         label_reuse: str = "safe",
+        retries: int = 2,
+        serial_fallback: bool = True,
     ) -> None:
         if lb_strategy not in LB_STRATEGIES:
-            raise ValueError(f"lb_strategy must be one of {LB_STRATEGIES}")
+            raise InvalidQueryError(f"lb_strategy must be one of {LB_STRATEGIES}")
         if ub_strategy not in UB_STRATEGIES:
-            raise ValueError(f"ub_strategy must be one of {UB_STRATEGIES}")
+            raise InvalidQueryError(f"ub_strategy must be one of {UB_STRATEGIES}")
         if label_reuse not in ("safe", "paper"):
-            raise ValueError('label_reuse must be "safe" or "paper"')
+            raise InvalidQueryError('label_reuse must be "safe" or "paper"')
         self.collection = collection
-        self.executor = SimulatedExecutor(cores)
+        self.executor = SimulatedExecutor(cores, retries=retries)
         self.cores = cores
         self.backend = backend
         self.lb_strategy = lb_strategy
         self.ub_strategy = ub_strategy
         self.label_store = label_store
         self.label_reuse = label_reuse
+        #: Re-executions granted to a failing partition task before the
+        #: round aborts (and, with ``serial_fallback``, the query degrades
+        #: to the serial engine instead of crashing).
+        self.retries = retries
+        self.serial_fallback = serial_fallback
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def query(self, r: float) -> MIOResult:
+    def query(
+        self,
+        r: float,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> MIOResult:
         """The MIO answer plus simulated per-phase parallel times."""
-        return self._run(r, k=1, want_ranking=False)
+        if deadline is None:
+            deadline = Deadline.from_timeout_ms(timeout_ms)
+        return self._run(r, k=1, want_ranking=False, deadline=deadline)
 
-    def query_topk(self, r: float, k: int) -> MIOResult:
+    def query_topk(
+        self,
+        r: float,
+        k: int,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> MIOResult:
         """The top-k variant under parallel processing."""
         if k < 1:
-            raise ValueError("k must be at least 1")
-        return self._run(r, k=k, want_ranking=True)
+            raise InvalidQueryError("k must be at least 1")
+        if deadline is None:
+            deadline = Deadline.from_timeout_ms(timeout_ms)
+        return self._run(r, k=k, want_ranking=True, deadline=deadline)
 
-    def _run(self, r: float, k: int, want_ranking: bool) -> MIOResult:
+    def _run(
+        self,
+        r: float,
+        k: int,
+        want_ranking: bool,
+        deadline: Optional[Deadline] = None,
+    ) -> MIOResult:
         if r <= 0:
-            raise ValueError("the distance threshold r must be positive")
+            raise InvalidQueryError("the distance threshold r must be positive")
+        try:
+            return self._run_parallel(r, k, want_ranking, deadline)
+        except (PartitionTaskError, InjectedFault) as cause:
+            # A partition task died past its retry budget (or a fault fired
+            # in an unretried inline loop).  The answer is still computable:
+            # degrade to the serial engine rather than crash the query.
+            if not self.serial_fallback:
+                raise
+            return self._serial_fallback(r, k, want_ranking, deadline, cause)
+
+    def _serial_fallback(
+        self,
+        r: float,
+        k: int,
+        want_ranking: bool,
+        deadline: Optional[Deadline],
+        cause: Exception,
+    ) -> MIOResult:
+        engine = MIOEngine(
+            self.collection,
+            backend=self.backend,
+            label_store=self.label_store,
+            label_reuse=self.label_reuse,
+        )
+        result = engine._run(r, k=k, want_ranking=want_ranking, deadline=deadline)
+        result.counters["serial_fallback"] = 1
+        if isinstance(cause, PartitionTaskError) and cause.task_index is not None:
+            result.counters["failed_task_index"] = cause.task_index
+        result.notes["serial_fallback"] = f"parallel execution failed: {cause}"
+        return result
+
+    def _run_parallel(
+        self,
+        r: float,
+        k: int,
+        want_ranking: bool,
+        deadline: Optional[Deadline] = None,
+    ) -> MIOResult:
         labels = None
         if self.label_store is not None:
             labels = self.label_store.get(math.ceil(r))
             if labels is not None and not labels_match_collection(labels, self.collection):
                 labels = None  # stale store: relabeling is the serial engine's job
 
+        faults.trip("grid_mapping")
+        checkpoint(deadline, "grid_mapping")
         bigrid, map_report = self._parallel_grid_mapping(r, labels)
+        faults.trip("lower_bounding")
+        checkpoint(deadline, "lower_bounding")
         lower_values, lower_bitsets, lb_report = self._parallel_lower_bounding(bigrid, labels)
         threshold = _kth_largest(lower_values, k)
+        faults.trip("upper_bounding")
+        checkpoint(deadline, "upper_bounding")
         candidates, ub_report = self._parallel_upper_bounding(bigrid, threshold, labels)
+        faults.trip("verification")
+        checkpoint(deadline, "verification")
         ranking, verify_report, verified = self._parallel_verification(
             bigrid, candidates, r, lower_bitsets, labels, k
         )
@@ -165,7 +243,7 @@ class ParallelMIOEngine:
         self, r: float, labels: Optional[PointLabels]
     ) -> Tuple[BIGrid, CoreReport]:
         collection = self.collection
-        bitset_cls = bitset_class(self.backend)
+        bitset_cls, _ = resolve_backend(self.backend)
         dimension = collection.dimension
         s_width = small_cell_width(r, dimension)
         l_width = large_cell_width(r)
@@ -210,6 +288,9 @@ class ParallelMIOEngine:
             for core, chunk in enumerate(chunks):
                 if not chunk:
                     continue
+                # Inline (unretried) chunk: an injected failure here is
+                # handled by the engine-level serial fallback.
+                faults.trip("partition_task", detail=("grid_mapping", oid, core))
                 started = time.perf_counter()
                 for position in chunk:
                     point_index = int(indices[position])
@@ -290,6 +371,7 @@ class ParallelMIOEngine:
             for core, chunk in enumerate(chunks):
                 if not chunk:
                     continue
+                faults.trip("partition_task", detail=("lower_bounding", oid, core))
                 started = time.perf_counter()
                 union = 0
                 for position in chunk:
@@ -461,6 +543,7 @@ class ParallelMIOEngine:
             for core, chunk_list in enumerate(per_core):
                 if not chunk_list:
                     continue
+                faults.trip("partition_task", detail=("verification", oid, core))
                 started = time.perf_counter()
                 locals_[core] = self._verify_chunks(
                     bigrid, oid, chunk_list, r_squared, seed
@@ -534,7 +617,7 @@ def parallel_nested_loop(collection: ObjectCollection, r: float, cores: int) -> 
     are unpredictable, so load balance -- and therefore speedup -- is poor.
     """
     if r <= 0:
-        raise ValueError("the distance threshold r must be positive")
+        raise InvalidQueryError("the distance threshold r must be positive")
     tau = [0] * collection.n
     report = CoreReport(cores)
     _nl_rounds(collection, r, cores, tau, report)

@@ -16,6 +16,13 @@ execution, and merge work is really executed and timed.
 
 :class:`ThreadExecutor` runs the same plans on real threads, used by tests
 to show the partitioned computation is correct under true concurrency.
+
+Both executors share one task-failure contract: each task execution first
+trips the ``"partition_task"`` fault-injection point (with the task index
+as detail), a failing task is retried up to ``retries`` times, and a task
+still failing afterwards raises :class:`~repro.errors.PartitionTaskError`
+carrying the failing task's index — never a half-filled result list.  The
+parallel engine catches that error and falls back to the serial path.
 """
 
 from __future__ import annotations
@@ -27,7 +34,34 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro import faults
+from repro.errors import InvalidQueryError, PartitionTaskError
+
 Task = Callable[[], Any]
+
+
+def run_task_with_retries(task: Task, index: int, retries: int) -> Any:
+    """Execute one partition task under the shared failure contract.
+
+    Retried tasks in this codebase are idempotent (their writes are unions
+    or idempotent assignments into per-core slots), so re-running a task
+    whose failure interrupted a partial mutation is safe.
+    """
+    attempt = 0
+    while True:
+        try:
+            faults.trip("partition_task", detail=index)
+            return task()
+        except PartitionTaskError:
+            raise
+        except Exception as exc:
+            attempt += 1
+            if attempt > retries:
+                raise PartitionTaskError(
+                    f"partition task {index} failed after {attempt} attempt(s): {exc}",
+                    task_index=index,
+                    attempts=attempt,
+                ) from exc
 
 
 @contextmanager
@@ -82,12 +116,19 @@ class CoreReport:
 
 
 class SimulatedExecutor:
-    """Serial execution with per-core cost accounting."""
+    """Serial execution with per-core cost accounting.
 
-    def __init__(self, cores: int) -> None:
+    ``retries`` is the shared task-failure budget: every task gets that many
+    re-executions before the round aborts with :class:`PartitionTaskError`.
+    """
+
+    def __init__(self, cores: int, retries: int = 0) -> None:
         if cores < 1:
-            raise ValueError("need at least one core")
+            raise InvalidQueryError("need at least one core")
+        if retries < 0:
+            raise InvalidQueryError("retries must be >= 0")
         self.cores = cores
+        self.retries = retries
 
     def run(
         self,
@@ -101,16 +142,19 @@ class SimulatedExecutor:
         ``(results, report)`` with results in task order.
         """
         if len(tasks) != len(assignment):
-            raise ValueError("every task needs a core assignment")
+            raise InvalidQueryError("every task needs a core assignment")
         report = CoreReport(self.cores)
         results = []
         with gc_paused():
-            for task, core in zip(tasks, assignment):
+            for index, (task, core) in enumerate(zip(tasks, assignment)):
                 started = time.perf_counter()
-                results.append(task())
-                elapsed = time.perf_counter() - started
-                report.per_core_seconds[core] += elapsed
-                report.serial_seconds += elapsed
+                try:
+                    results.append(run_task_with_retries(task, index, self.retries))
+                finally:
+                    # Retried attempts are real work: charge them all.
+                    elapsed = time.perf_counter() - started
+                    report.per_core_seconds[core] += elapsed
+                    report.serial_seconds += elapsed
             if merge is not None:
                 started = time.perf_counter()
                 merge()
@@ -144,12 +188,21 @@ class ThreadExecutor:
     Used to demonstrate functional correctness of the partitioned
     computation; wall-clock speedup is not expected under the GIL and the
     report's makespan here is simply the measured wall time.
+
+    A task exception no longer aborts the pool with results half-filled:
+    each worker captures its tasks' failures (after exhausting ``retries``),
+    every other task still runs, and the round then raises the
+    :class:`PartitionTaskError` of the lowest failing task index so the
+    outcome is deterministic regardless of thread interleaving.
     """
 
-    def __init__(self, cores: int) -> None:
+    def __init__(self, cores: int, retries: int = 0) -> None:
         if cores < 1:
-            raise ValueError("need at least one core")
+            raise InvalidQueryError("need at least one core")
+        if retries < 0:
+            raise InvalidQueryError("retries must be >= 0")
         self.cores = cores
+        self.retries = retries
 
     def run(
         self,
@@ -158,19 +211,27 @@ class ThreadExecutor:
         merge: Optional[Task] = None,
     ) -> tuple:
         if len(tasks) != len(assignment):
-            raise ValueError("every task needs a core assignment")
+            raise InvalidQueryError("every task needs a core assignment")
         per_core: List[List[int]] = [[] for _ in range(self.cores)]
         for index, core in enumerate(assignment):
             per_core[core].append(index)
         results: List[Any] = [None] * len(tasks)
+        failures: List[PartitionTaskError] = []
 
         def run_core(task_indices: List[int]) -> None:
             for index in task_indices:
-                results[index] = tasks[index]()
+                try:
+                    results[index] = run_task_with_retries(
+                        tasks[index], index, self.retries
+                    )
+                except PartitionTaskError as error:
+                    failures.append(error)  # list.append is atomic under the GIL
 
         started = time.perf_counter()
         with ThreadPoolExecutor(max_workers=self.cores) as pool:
             list(pool.map(run_core, per_core))
+        if failures:
+            raise min(failures, key=lambda error: error.task_index)
         if merge is not None:
             merge()
         elapsed = time.perf_counter() - started

@@ -28,7 +28,9 @@ from repro.core.lower_bound import compute_lower_bounds
 from repro.core.objects import ObjectCollection
 from repro.core.upper_bound import compute_upper_bounds
 from repro.core.verification import verify_candidates
+from repro.errors import InvalidQueryError
 from repro.grid.bigrid import BIGrid
+from repro.resilience import Deadline
 
 
 @dataclass
@@ -59,6 +61,8 @@ def query_progressive(
     r: float,
     backend: str = "ewah",
     max_verifications: Optional[int] = None,
+    timeout_ms: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Iterator[ProgressiveState]:
     """Yield progressively tighter MIO answers for one query.
 
@@ -66,12 +70,19 @@ def query_progressive(
     scoring yet); subsequent states follow each verified candidate.
     ``max_verifications`` truncates the stream early (the final state
     then reports ``is_final=False`` unless the gap closed first).
+
+    A ``timeout_ms`` budget (or explicit ``deadline``) behaves like the
+    engine's: grid mapping and bounding raise ``QueryTimeout`` on expiry,
+    while expiry during verification simply ends the stream — the last
+    yielded state is the anytime answer, its interval still certified.
     """
     if r <= 0:
-        raise ValueError("the distance threshold r must be positive")
-    bigrid = BIGrid.build(collection, r, backend=backend)
-    lower = compute_lower_bounds(bigrid)
-    upper = compute_upper_bounds(bigrid, tau_max_low=lower.tau_max)
+        raise InvalidQueryError("the distance threshold r must be positive")
+    if deadline is None:
+        deadline = Deadline.from_timeout_ms(timeout_ms)
+    bigrid = BIGrid.build(collection, r, backend=backend, deadline=deadline)
+    lower = compute_lower_bounds(bigrid, deadline=deadline)
+    upper = compute_upper_bounds(bigrid, tau_max_low=lower.tau_max, deadline=deadline)
     candidates = upper.candidates
 
     # The best lower bound is already attained by some object; use it as
@@ -96,6 +107,8 @@ def query_progressive(
     for position, (upper_bound, oid) in enumerate(candidates):
         if upper_bound <= best_score or verified >= budget:
             break
+        if deadline is not None and deadline.expired():
+            return  # the last yielded state stands as the anytime answer
         # Verify exactly one candidate by scoring it in isolation.
         result = verify_candidates(bigrid, [(upper_bound, oid)], r, k=1)
         score = result.ranking[0][1]

@@ -1,0 +1,111 @@
+"""Cooperative deadlines for query execution.
+
+A :class:`Deadline` is a small budget object threaded through the pipeline:
+phases call :meth:`Deadline.check` at their boundaries and inside their
+per-object / per-candidate loops.  Checks are cooperative — nothing is
+interrupted preemptively — which keeps the engines single-threaded and
+deterministic while still bounding tail latency:
+
+* during grid mapping, lower-bounding, and upper-bounding an expiry raises
+  :class:`~repro.errors.QueryTimeout` (no useful partial answer exists yet);
+* during verification the engine instead returns an *anytime*
+  :class:`~repro.core.query.MIOResult` with ``exact=False`` whose score is a
+  verified lower bound on the optimum (Corollary 1 keeps every intermediate
+  best-first answer correct as a bound).
+
+The clock is injectable so tests can drive expiry deterministically
+(:class:`ManualClock`) instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import InvalidQueryError, QueryTimeout
+
+Clock = Callable[[], float]
+
+
+class ManualClock:
+    """A deterministic clock for tests: advances only when told to.
+
+    ``step`` makes every reading advance time by that amount, so a
+    ``Deadline(budget, clock=ManualClock(step=1.0))`` expires after exactly
+    ``budget`` checks regardless of real elapsed time.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        reading = self.now
+        self.now += self.step
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward explicitly."""
+        self.now += seconds
+
+
+class Deadline:
+    """A monotonic time budget for one query.
+
+    Construct directly with a budget in seconds, or through
+    :meth:`from_timeout_ms` (which maps ``None`` to "no deadline" so callers
+    can thread an optional flag straight through).
+    """
+
+    __slots__ = ("budget", "_clock", "_started", "_expires")
+
+    def __init__(self, budget_seconds: float, clock: Clock = time.monotonic) -> None:
+        if budget_seconds < 0:
+            raise InvalidQueryError("a deadline budget must be >= 0 seconds")
+        self.budget = float(budget_seconds)
+        self._clock = clock
+        self._started = clock()
+        self._expires = self._started + self.budget
+
+    @classmethod
+    def from_timeout_ms(
+        cls, timeout_ms: Optional[float], clock: Clock = time.monotonic
+    ) -> Optional["Deadline"]:
+        """A deadline for ``timeout_ms`` milliseconds, or None for no limit."""
+        if timeout_ms is None:
+            return None
+        return cls(timeout_ms / 1000.0, clock)
+
+    def elapsed(self) -> float:
+        """Seconds consumed so far."""
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (may be negative once expired)."""
+        return self._expires - self._clock()
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self._clock() >= self._expires
+
+    def check(self, phase: str) -> None:
+        """Raise :class:`QueryTimeout` if the budget has run out.
+
+        ``phase`` names the pipeline phase performing the check; it is
+        carried on the exception so callers (and the CLI) can report where
+        the query ran out of time.
+        """
+        now = self._clock()
+        if now >= self._expires:
+            raise QueryTimeout(
+                f"query deadline of {self.budget:.3f}s expired during {phase} "
+                f"({now - self._started:.3f}s elapsed)",
+                phase=phase,
+                elapsed=now - self._started,
+            )
+
+
+def checkpoint(deadline: Optional[Deadline], phase: str) -> None:
+    """Check an *optional* deadline: the common call site in phase loops."""
+    if deadline is not None:
+        deadline.check(phase)

@@ -99,3 +99,59 @@ class TestModuleEntry:
         )
         assert proc.returncode == 0
         assert "statistic" in proc.stdout
+
+
+class TestFailureModes:
+    """The error taxonomy maps to distinct exit codes; anytime answers are
+    flagged; REPRO_FAULTS arms the injector for one process."""
+
+    def test_timeout_exit_code(self, dataset_file, capsys):
+        code = main(["query", dataset_file, "-r", "2.0", "--timeout-ms", "0.0001"])
+        assert code == 13
+        err = capsys.readouterr().err
+        assert "QueryTimeout" in err and "grid_mapping" in err
+
+    def test_corrupt_data_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "mangled.npz"
+        path.write_bytes(b"not an archive at all")
+        code = main(["query", str(path), "-r", "2.0"])
+        assert code == 12
+        assert "CorruptDataError" in capsys.readouterr().err
+
+    def test_invalid_query_exit_code(self, dataset_file, capsys):
+        code = main(["query", dataset_file, "-r", "-3.0"])
+        assert code == 11
+        assert "InvalidQueryError" in capsys.readouterr().err
+
+    def test_env_injected_fault_exit_code(self, dataset_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "grid_mapping:fail")
+        code = main(["query", dataset_file, "-r", "2.0"])
+        assert code == 16
+        assert "InjectedFault" in capsys.readouterr().err
+
+    def test_anytime_answer_is_marked_inexact(self, dataset_file, capsys, monkeypatch):
+        # Injected latency burns the whole budget before verification, so
+        # the deadline expires there and the CLI reports an anytime answer.
+        monkeypatch.setenv("REPRO_FAULTS", "verification:latency:1:400")
+        code = main(["query", dataset_file, "-r", "2.0", "--timeout-ms", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inexact (deadline)" in out
+        assert "anytime" in out
+
+    def test_parallel_task_kill_falls_back_to_serial(
+        self, dataset_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "partition_task:fail:1:0:2")
+        code = main(
+            ["query", dataset_file, "-r", "2.0", "--cores", "2", "--retries", "0"]
+        )
+        assert code == 0
+        assert "serial_fallback" in capsys.readouterr().out
+
+    def test_faults_env_uninstalled_after_main(self, dataset_file, monkeypatch):
+        from repro import faults
+
+        monkeypatch.setenv("REPRO_FAULTS", "io:latency:1:0")
+        assert main(["query", dataset_file, "-r", "2.0"]) == 0
+        assert faults.active() is None

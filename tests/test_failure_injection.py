@@ -1,16 +1,28 @@
-"""Failure-injection tests: stale stores, corrupted files, bad inputs.
+"""Failure-injection tests: faults, deadlines, corrupted files, bad inputs.
 
-A production system must fail loudly on malformed inputs and recover
-quietly from stale auxiliary state (labels are an *optimization*, never a
-correctness dependency)."""
+A production system must fail loudly on malformed inputs, recover quietly
+from stale auxiliary state (labels are an *optimization*, never a
+correctness dependency), degrade along declared fallback chains, and turn
+an expired deadline into a certified anytime answer rather than a crash."""
+
+import os
 
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.bitset import EWAHBitset
 from repro.core.engine import MIOEngine
 from repro.core.labels import LabelStore, PointLabels
 from repro.datasets.io import import_csv, load_collection
+from repro.errors import (
+    CorruptDataError,
+    InjectedFault,
+    QueryTimeout,
+)
+from repro.faults import FaultInjector, FaultSpec
+from repro.parallel.engine import ParallelMIOEngine
+from repro.resilience import Deadline, ManualClock
 
 from conftest import oracle_scores, random_collection
 
@@ -52,13 +64,17 @@ class TestCorruptedFiles:
     def test_corrupted_npz_raises(self, tmp_path):
         path = tmp_path / "broken.npz"
         path.write_bytes(b"this is not a zip archive")
-        with pytest.raises(Exception):
+        with pytest.raises(CorruptDataError, match="broken.npz"):
             load_collection(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_collection(tmp_path / "does_not_exist.npz")
 
     def test_corrupted_label_file_raises_cleanly(self, tmp_path):
         store = LabelStore(tmp_path)
         (tmp_path / "labels_ceil_3.npz").write_bytes(b"garbage")
-        with pytest.raises(Exception):
+        with pytest.raises(CorruptDataError, match="labels_ceil_3.npz"):
             store.get(3)
 
     def test_truncated_csv_header_only(self, tmp_path):
@@ -66,6 +82,28 @@ class TestCorruptedFiles:
         path.write_text("oid,x,y\n")
         with pytest.raises(ValueError):
             import_csv(path)  # no objects -> empty collection is rejected
+
+    def test_csv_missing_header_names_path(self, tmp_path):
+        path = tmp_path / "headless.csv"
+        path.write_text("1,2.0,3.0\n")
+        with pytest.raises(CorruptDataError, match="headless.csv"):
+            import_csv(path)
+
+    def test_csv_bad_row_names_path(self, tmp_path):
+        path = tmp_path / "badrow.csv"
+        path.write_text("oid,x,y\n0,1.0,2.0\n0,banana,2.0\n")
+        with pytest.raises(CorruptDataError, match="badrow.csv"):
+            import_csv(path)
+
+    def test_duplicate_oid_rejected(self):
+        from repro.core.objects import ObjectCollection, SpatialObject
+
+        objects = [
+            SpatialObject(0, np.zeros((1, 2))),
+            SpatialObject(0, np.ones((1, 2))),
+        ]
+        with pytest.raises(CorruptDataError, match="duplicate object id"):
+            ObjectCollection(objects)
 
     def test_corrupted_ewah_stream(self):
         with pytest.raises(ValueError):
@@ -119,3 +157,333 @@ class TestStaleLabelsParallel:
         result = ParallelMIOEngine(second, cores=3, label_store=store).query(2.0)
         assert result.algorithm == "bigrid-parallel"  # labels rejected
         assert result.score == max(oracle_scores(second, 2.0))
+
+
+PHASE_POINTS = ("grid_mapping", "lower_bounding", "upper_bounding", "verification")
+
+RAISING_PHASES = ("grid_mapping", "lower_bounding", "upper_bounding")
+
+
+def _query_with_ticks(engine, r, budget):
+    """Run one query under a deterministic tick-driven deadline."""
+    deadline = Deadline(float(budget), clock=ManualClock(step=1.0))
+    return engine.query(r, deadline=deadline)
+
+
+def _verification_window_budgets(engine, r, samples=15):
+    """Tick budgets bracketing the verification phase of ``engine``.
+
+    Under ``ManualClock(step=1.0)`` every deadline reading is one tick, so a
+    run with an unlimited budget measures the total tick count, and a binary
+    search finds the smallest budget surviving the raising filter phases.
+    Budgets sampled between the two land either in anytime verification or
+    in completion -- exactly the region the anytime contract covers.
+    """
+
+    def raises_in_filter(budget):
+        try:
+            _query_with_ticks(engine, r, budget)
+        except QueryTimeout as timeout:
+            return timeout.phase in RAISING_PHASES
+        return False
+
+    total_deadline = Deadline(10.0**9, clock=ManualClock(step=1.0))
+    engine.query(r, deadline=total_deadline)
+    total_ticks = int(total_deadline.elapsed()) + 2
+    low, high = 0, total_ticks
+    while low + 1 < high:  # invariant: low raises in a filter phase, high not
+        mid = (low + high) // 2
+        if raises_in_filter(mid):
+            low = mid
+        else:
+            high = mid
+    span = max(1, (total_ticks - high) // max(1, samples - 1))
+    budgets = set(range(high, total_ticks + 1, span))
+    budgets.add(total_ticks + 10)  # comfortably past expiry: exact answer
+    return sorted(budgets)
+
+
+class TestInjectionPoints:
+    """Every named injection point, exercised with both fault kinds."""
+
+    @pytest.mark.parametrize("point", PHASE_POINTS)
+    def test_phase_failure_raises_injected_fault(self, point):
+        collection = random_collection(n=12, mean_points=5, seed=140)
+        engine = MIOEngine(collection)
+        with faults.injected(FaultInjector([FaultSpec(point)])):
+            with pytest.raises(InjectedFault) as info:
+                engine.query(2.0)
+        assert info.value.point == point
+
+    @pytest.mark.parametrize("point", PHASE_POINTS)
+    def test_phase_latency_preserves_exactness(self, point):
+        collection = random_collection(n=12, mean_points=5, seed=140)
+        engine = MIOEngine(collection)
+        spec = FaultSpec(point, kind="latency", latency=0.0)
+        with faults.injected(FaultInjector([spec])) as injector:
+            result = engine.query(2.0)
+        assert injector.fired[point] >= 1
+        assert result.exact
+        assert result.score == max(oracle_scores(collection, 2.0))
+
+    def test_io_failure_raises_injected_fault(self, tmp_path):
+        from repro.datasets.io import save_collection
+
+        path = tmp_path / "ok.npz"
+        save_collection(path, random_collection(n=5, mean_points=3, seed=141))
+        with faults.injected(FaultInjector([FaultSpec("io")])):
+            with pytest.raises(InjectedFault):
+                load_collection(path)
+
+    def test_partition_task_failure_is_injectable(self):
+        from repro.errors import PartitionTaskError
+        from repro.parallel.executor import SimulatedExecutor
+
+        spec = FaultSpec("partition_task", match=1)
+        with faults.injected(FaultInjector([spec])):
+            with pytest.raises(PartitionTaskError) as info:
+                SimulatedExecutor(2).run([lambda: 0, lambda: 1], [0, 1])
+        assert info.value.task_index == 1
+
+    def test_trip_is_noop_without_injector(self):
+        assert faults.active() is None
+        faults.trip("verification")  # must not raise
+
+    def test_seeded_rate_is_deterministic(self):
+        def fired_counts(seed):
+            injector = FaultInjector(
+                [FaultSpec("verification", kind="latency", rate=0.5)], seed=seed
+            )
+            with faults.injected(injector):
+                for _ in range(40):
+                    faults.trip("verification")
+            return injector.fired.get("verification", 0)
+
+        assert fired_counts(7) == fired_counts(7)
+        assert 0 < fired_counts(7) < 40
+
+
+class TestDeadlines:
+    """Cooperative deadlines: raising filter phases, anytime verification."""
+
+    def test_zero_budget_expires_in_grid_mapping(self):
+        collection = random_collection(n=10, mean_points=5, seed=142)
+        with pytest.raises(QueryTimeout) as info:
+            MIOEngine(collection).query(2.0, timeout_ms=0.0)
+        assert info.value.phase == "grid_mapping"
+        assert info.value.elapsed >= 0.0
+
+    def test_phases_expire_in_pipeline_order(self):
+        """Sweeping the budget under a ManualClock walks expiry through the
+        raising phases in order, then lands in anytime verification."""
+        collection = random_collection(n=25, mean_points=6, seed=143)
+        engine = MIOEngine(collection)
+        outcomes = []
+        for budget in range(0, 4000, 25):
+            deadline = Deadline(float(budget), clock=ManualClock(step=1.0))
+            try:
+                result = engine.query(2.0, deadline=deadline)
+            except QueryTimeout as timeout:
+                outcomes.append(timeout.phase)
+            else:
+                outcomes.append("answered" if result.exact else "anytime")
+        order = ["grid_mapping", "lower_bounding", "upper_bounding", "anytime", "answered"]
+        seen = [phase for index, phase in enumerate(outcomes) if phase not in outcomes[:index]]
+        assert seen == [phase for phase in order if phase in seen]
+        assert "anytime" in seen and "answered" in seen
+
+    def test_anytime_score_is_verified_lower_bound(self):
+        """Property test: under any deadline the answer is never wrong --
+        an exact result matches the oracle, an anytime result is a lower
+        bound achieved by its reported winner (Corollary 1)."""
+        for seed in range(5):
+            collection = random_collection(n=20, mean_points=6, seed=200 + seed)
+            oracle = oracle_scores(collection, 2.0)
+            engine = MIOEngine(collection)
+            anytime_seen = False
+            for budget in _verification_window_budgets(engine, 2.0):
+                try:
+                    result = _query_with_ticks(engine, 2.0, budget)
+                except QueryTimeout:
+                    continue
+                if result.exact:
+                    assert result.score == max(oracle)
+                else:
+                    anytime_seen = True
+                    assert result.score <= max(oracle)
+                    assert oracle[result.winner] >= result.score
+                    assert result.notes["anytime"]
+                    assert result.counters["candidates_settled"] <= (
+                        result.counters["candidates_total"]
+                    )
+            assert anytime_seen, f"seed {seed}: no budget hit the anytime path"
+
+    def test_anytime_scores_improve_monotonically(self):
+        collection = random_collection(n=25, mean_points=6, seed=144)
+        engine = MIOEngine(collection)
+        scores = []
+        for budget in _verification_window_budgets(engine, 2.0, samples=30):
+            try:
+                result = _query_with_ticks(engine, 2.0, budget)
+            except QueryTimeout:
+                continue
+            scores.append(result.score)
+        assert scores, "no budget produced an answer"
+        assert scores == sorted(scores)
+        assert scores[-1] == max(oracle_scores(collection, 2.0))
+
+    def test_timed_out_verification_does_not_persist_labels(self):
+        collection = random_collection(n=25, mean_points=6, seed=145)
+        store = LabelStore()
+        engine = MIOEngine(collection, label_store=store)
+        import math
+
+        # Probe the window with a store-free engine: a completing probe run
+        # would otherwise persist labels and change the tick counts.
+        probe = MIOEngine(collection)
+        for budget in _verification_window_budgets(probe, 2.0):
+            try:
+                result = _query_with_ticks(engine, 2.0, budget)
+            except QueryTimeout:
+                continue
+            if not result.exact:
+                assert not store.has(math.ceil(2.0))
+                return
+        pytest.fail("no budget hit the anytime path")
+
+    def test_progressive_deadline_stops_iteration_cleanly(self):
+        from repro.progressive import query_progressive
+
+        collection = random_collection(n=20, mean_points=6, seed=146)
+        oracle = oracle_scores(collection, 2.0)
+        deadline = Deadline(600.0, clock=ManualClock(step=1.0))
+        states = list(query_progressive(collection, 2.0, deadline=deadline))
+        assert states, "deadline killed the run before any progress"
+        assert states[-1].best_score <= max(oracle)
+
+    def test_parallel_engine_honors_deadline(self):
+        collection = random_collection(n=15, mean_points=5, seed=147)
+        engine = ParallelMIOEngine(collection, cores=3)
+        with pytest.raises(QueryTimeout):
+            engine.query(2.0, timeout_ms=0.0)
+
+
+class TestBackendFallback:
+    def test_down_backend_degrades_with_note(self):
+        collection = random_collection(n=12, mean_points=5, seed=148)
+        engine = MIOEngine(collection, backend="ewah")
+        spec = FaultSpec("backend", match="ewah")
+        with faults.injected(FaultInjector([spec])):
+            result = engine.query(2.0)
+        assert result.notes["degraded_backend"] == "ewah->plain"
+        assert result.exact
+        assert result.score == max(oracle_scores(collection, 2.0))
+
+    def test_healthy_backend_leaves_no_note(self):
+        collection = random_collection(n=12, mean_points=5, seed=148)
+        result = MIOEngine(collection, backend="ewah").query(2.0)
+        assert "degraded_backend" not in result.notes
+
+    def test_unknown_backend_rejected(self):
+        from repro.bitset import resolve_backend
+        from repro.errors import BackendUnavailableError
+
+        with pytest.raises(BackendUnavailableError, match="unknown"):
+            resolve_backend("bitmagic")
+
+    def test_fully_down_chain_rejected(self):
+        from repro.bitset import resolve_backend
+        from repro.errors import BackendUnavailableError
+
+        specs = [FaultSpec("backend", match=name) for name in ("ewah", "plain")]
+        with faults.injected(FaultInjector(specs)):
+            with pytest.raises(BackendUnavailableError, match="no usable"):
+                resolve_backend("ewah")
+
+
+class TestParallelFaultTolerance:
+    def test_single_task_kill_recovers_by_retry(self):
+        collection = random_collection(n=15, mean_points=5, seed=149)
+        truth = max(oracle_scores(collection, 2.0))
+        engine = ParallelMIOEngine(collection, cores=3, retries=1)
+        spec = FaultSpec("partition_task", match=2, max_triggers=1)
+        with faults.injected(FaultInjector([spec])) as injector:
+            result = engine.query(2.0)
+        assert injector.fired["partition_task"] == 1
+        assert result.score == truth
+        assert "serial_fallback" not in result.counters
+
+    def test_persistent_task_kill_falls_back_to_serial(self):
+        collection = random_collection(n=15, mean_points=5, seed=149)
+        truth = max(oracle_scores(collection, 2.0))
+        engine = ParallelMIOEngine(collection, cores=3, retries=2)
+        spec = FaultSpec("partition_task", match=2)
+        with faults.injected(FaultInjector([spec])):
+            result = engine.query(2.0)
+        assert result.score == truth
+        assert result.counters["serial_fallback"] == 1
+        assert result.counters["failed_task_index"] == 2
+        assert "serial_fallback" in result.notes
+
+    def test_fallback_disabled_propagates_error(self):
+        from repro.errors import PartitionTaskError
+
+        collection = random_collection(n=15, mean_points=5, seed=149)
+        engine = ParallelMIOEngine(
+            collection, cores=3, retries=0, serial_fallback=False
+        )
+        spec = FaultSpec("partition_task", match=2)
+        with faults.injected(FaultInjector([spec])):
+            with pytest.raises(PartitionTaskError) as info:
+                engine.query(2.0)
+        assert info.value.task_index == 2
+
+    def test_fault_outcome_deterministic_under_fixed_seed(self):
+        collection = random_collection(n=15, mean_points=5, seed=150)
+
+        def run_once():
+            engine = ParallelMIOEngine(collection, cores=3, retries=1)
+            injector = FaultInjector(
+                [FaultSpec("partition_task", rate=0.3)], seed=99
+            )
+            with faults.injected(injector):
+                result = engine.query(2.0)
+            return result.score, result.counters.get("serial_fallback", 0), dict(injector.fired)
+
+        assert run_once() == run_once()
+        assert run_once()[0] == max(oracle_scores(collection, 2.0))
+
+
+def _chaos_seeds():
+    seeds = faults.env_seeds(os.environ.get("REPRO_FAULTS"))
+    return seeds or [0, 1, 2]
+
+
+class TestChaos:
+    """Randomized faults at every point: the answer is exact, a certified
+    anytime bound, or a taxonomy error -- never a foreign exception."""
+
+    @pytest.mark.parametrize("seed", _chaos_seeds())
+    def test_chaos_run_never_escapes_taxonomy(self, seed):
+        from repro.errors import ReproError
+
+        collection = random_collection(n=15, mean_points=5, seed=151)
+        oracle = oracle_scores(collection, 2.0)
+        specs = [
+            FaultSpec(point, rate=0.15)
+            for point in ("grid_mapping", "lower_bounding", "upper_bounding",
+                          "verification", "partition_task", "backend")
+        ]
+        for engine in (
+            MIOEngine(collection),
+            ParallelMIOEngine(collection, cores=3, retries=1),
+        ):
+            with faults.injected(FaultInjector(specs, seed=seed)):
+                try:
+                    result = engine.query(2.0)
+                except ReproError:
+                    continue
+                if result.exact:
+                    assert result.score == max(oracle)
+                else:
+                    assert result.score <= max(oracle)

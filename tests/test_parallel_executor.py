@@ -103,3 +103,93 @@ class TestThreadExecutor:
     def test_invalid_cores(self):
         with pytest.raises(ValueError):
             ThreadExecutor(0)
+
+
+class TestThreadExecutorFailures:
+    """A failing task must not leave the round half-finished or racy."""
+
+    def test_failure_carries_task_index(self):
+        from repro.errors import PartitionTaskError
+
+        def boom():
+            raise RuntimeError("boom")
+
+        tasks = [lambda v=v: v for v in range(6)]
+        tasks[2] = boom
+        with pytest.raises(PartitionTaskError) as info:
+            ThreadExecutor(3).run(tasks, [index % 3 for index in range(6)])
+        assert info.value.task_index == 2
+        assert info.value.attempts == 1
+
+    def test_other_tasks_still_run_to_completion(self):
+        from repro.errors import PartitionTaskError
+
+        done = []
+
+        def boom():
+            raise RuntimeError("boom")
+
+        tasks = [lambda v=v: done.append(v) for v in range(6)]
+        tasks[1] = boom
+        with pytest.raises(PartitionTaskError):
+            ThreadExecutor(3).run(tasks, [index % 3 for index in range(6)])
+        assert sorted(done) == [0, 2, 3, 4, 5]
+
+    def test_lowest_task_index_wins_deterministically(self):
+        from repro.errors import PartitionTaskError
+
+        def boom():
+            raise RuntimeError("boom")
+
+        for _ in range(5):  # scheduling varies; the reported index must not
+            tasks = [lambda v=v: v for v in range(8)]
+            tasks[5] = boom
+            tasks[3] = boom
+            with pytest.raises(PartitionTaskError) as info:
+                ThreadExecutor(4).run(tasks, [index % 4 for index in range(8)])
+            assert info.value.task_index == 3
+
+    def test_retries_recover_transient_failure(self):
+        attempts = {"count": 0}
+
+        def flaky():
+            attempts["count"] += 1
+            if attempts["count"] == 1:
+                raise RuntimeError("transient")
+            return "ok"
+
+        results, _ = ThreadExecutor(2, retries=1).run([flaky, lambda: 1], [0, 1])
+        assert results == ["ok", 1]
+        assert attempts["count"] == 2
+
+
+class TestSimulatedExecutorFailures:
+    def test_retry_budget_exhaustion_reports_attempts(self):
+        from repro.errors import PartitionTaskError
+
+        def boom():
+            raise RuntimeError("always")
+
+        with pytest.raises(PartitionTaskError) as info:
+            SimulatedExecutor(1, retries=2).run([boom], [0])
+        assert info.value.task_index == 0
+        assert info.value.attempts == 3
+
+    def test_retried_attempts_are_charged_to_the_core(self):
+        import time as _time
+
+        calls = {"count": 0}
+
+        def flaky_busy():
+            calls["count"] += 1
+            deadline = _time.perf_counter() + 0.002
+            while _time.perf_counter() < deadline:
+                pass
+            if calls["count"] == 1:
+                raise RuntimeError("transient")
+            return "ok"
+
+        executor = SimulatedExecutor(1, retries=1)
+        results, report = executor.run([flaky_busy], [0])
+        assert results == ["ok"]
+        assert report.per_core_seconds[0] >= 0.004  # both attempts billed

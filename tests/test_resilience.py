@@ -1,0 +1,136 @@
+"""Unit tests for the deadline and fault-injection primitives."""
+
+import pytest
+
+from repro import faults
+from repro.errors import InjectedFault, InvalidQueryError, QueryTimeout
+from repro.faults import FaultInjector, FaultSpec, env_seeds, from_env
+from repro.resilience import Deadline, ManualClock, checkpoint
+
+
+class TestManualClock:
+    def test_advances_by_step_per_reading(self):
+        clock = ManualClock(step=2.0)
+        assert clock() == 0.0
+        assert clock() == 2.0
+        assert clock() == 4.0
+
+    def test_explicit_advance(self):
+        clock = ManualClock(start=5.0)
+        clock.advance(3.0)
+        assert clock() == 8.0
+
+
+class TestDeadline:
+    def test_not_expired_within_budget(self):
+        deadline = Deadline(10.0, clock=ManualClock(step=1.0))
+        assert not deadline.expired()
+        assert deadline.remaining() > 0
+        deadline.check("grid_mapping")  # must not raise
+
+    def test_check_raises_with_phase_and_elapsed(self):
+        deadline = Deadline(2.0, clock=ManualClock(step=1.0))
+        deadline.check("grid_mapping")
+        with pytest.raises(QueryTimeout) as info:
+            deadline.check("lower_bounding")
+        assert info.value.phase == "lower_bounding"
+        assert info.value.elapsed >= 2.0
+        assert "lower_bounding" in str(info.value)
+
+    def test_expiry_after_exactly_budget_ticks(self):
+        deadline = Deadline(3.0, clock=ManualClock(step=1.0))
+        assert [deadline.expired() for _ in range(4)] == [
+            False, False, True, True,
+        ]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Deadline(-1.0)
+
+    def test_from_timeout_ms(self):
+        assert Deadline.from_timeout_ms(None) is None
+        deadline = Deadline.from_timeout_ms(1500.0, clock=ManualClock())
+        assert deadline.budget == pytest.approx(1.5)
+
+    def test_checkpoint_none_is_noop(self):
+        checkpoint(None, "verification")  # must not raise
+
+    def test_timeout_is_a_builtin_timeout_error(self):
+        deadline = Deadline(0.0, clock=ManualClock(step=1.0))
+        with pytest.raises(TimeoutError):
+            deadline.check("verification")
+
+
+class TestFaultSpec:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("io", kind="explode")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("io", rate=1.5)
+
+
+class TestFaultInjector:
+    def test_fail_spec_raises_with_point(self):
+        injector = FaultInjector([FaultSpec("io")])
+        with pytest.raises(InjectedFault) as info:
+            injector.trip("io")
+        assert info.value.point == "io"
+
+    def test_match_gates_on_detail(self):
+        injector = FaultInjector([FaultSpec("partition_task", match=3)])
+        injector.trip("partition_task", detail=1)  # no match: silent
+        with pytest.raises(InjectedFault):
+            injector.trip("partition_task", detail=3)
+
+    def test_max_triggers_limits_firing(self):
+        injector = FaultInjector([FaultSpec("io", max_triggers=2)])
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.trip("io")
+        injector.trip("io")  # budget exhausted: silent
+        assert injector.fired["io"] == 2
+
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector([FaultSpec("io", rate=0.0)])
+        for _ in range(20):
+            injector.trip("io")
+        assert injector.fired == {}
+
+    def test_injected_scope_restores_previous(self):
+        outer = FaultInjector([])
+        inner = FaultInjector([])
+        with faults.injected(outer):
+            with faults.injected(inner):
+                assert faults.active() is inner
+            assert faults.active() is outer
+        assert faults.active() is None
+
+
+class TestEnvParsing:
+    def test_full_grammar(self):
+        injector = from_env("seed=42;verification:fail;io:latency:0.5:250:x.npz")
+        assert injector.seed == 42
+        assert len(injector.specs) == 2
+        first, second = injector.specs
+        assert (first.point, first.kind) == ("verification", "fail")
+        assert second.kind == "latency"
+        assert second.rate == pytest.approx(0.5)
+        assert second.latency == pytest.approx(0.25)
+        assert second.match == "x.npz"
+
+    def test_integer_match_parses_as_int(self):
+        injector = from_env("partition_task:fail:1:0:2")
+        assert injector.specs[0].match == 2
+
+    def test_empty_and_seeds_only_yield_none(self):
+        assert from_env(None) is None
+        assert from_env("") is None
+        assert from_env("seeds=0:8") is None
+
+    def test_env_seeds_range_and_list(self):
+        assert env_seeds("seeds=2:5") == [2, 3, 4]
+        assert env_seeds("seeds=1,7,9") == [1, 7, 9]
+        assert env_seeds("verification:fail") == []
+        assert env_seeds(None) == []
