@@ -1,0 +1,87 @@
+"""Warm-vs-cold session reuse on one analyst workload (PR 2 tentpole).
+
+The claim behind :class:`~repro.session.QuerySession` is that a *warm*
+session answers a same-ceiling threshold sweep strictly faster than cold
+single-shot engines, without changing a single answer.  This bench runs
+the Section III-D style workload through the harness's ``bigrid-session``
+mode and records the first machine-readable trajectory point
+(``results/BENCH_batch_reuse.json``) so later PRs can track the speedup
+over time instead of eyeballing ascii tables.
+"""
+
+import json
+
+from repro.bench.harness import run_algorithm
+from repro.bench.reporting import format_table
+from repro.session import QuerySession
+
+from conftest import RESULTS_DIR, best_of
+
+DATASET = "bird-2"
+#: Six thresholds in one ceiling bucket (all ceil to 5), like the paper's
+#: fine-grained analyst sweep.
+WORKLOAD = [4.9, 4.1, 4.3, 4.5, 4.7, 4.8]
+
+
+def test_batch_reuse_speedup(datasets, report, benchmark):
+    collection = datasets[DATASET]
+    observed = []
+
+    def run_cold():
+        records = [
+            run_algorithm("bigrid", collection, r, dataset=DATASET)
+            for r in WORKLOAD
+        ]
+        observed.append([(record.winner, record.score) for record in records])
+        return sum(record.seconds for record in records)
+
+    session = QuerySession(collection)
+    for r in WORKLOAD:  # untimed warm-up: labels, keys, lower bounds
+        session.query(r)
+
+    def run_warm():
+        records = [
+            run_algorithm(
+                "bigrid-session", collection, r, dataset=DATASET, session=session
+            )
+            for r in WORKLOAD
+        ]
+        observed.append([(record.winner, record.score) for record in records])
+        return sum(record.seconds for record in records)
+
+    def collect():
+        return best_of(run_cold), best_of(run_warm)
+
+    cold_seconds, warm_seconds = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    # Reuse must never change answers: every run saw identical
+    # (winner, score) pairs, cold and warm alike.
+    assert all(answers == observed[0] for answers in observed)
+    # The acceptance bar: a warm session is strictly faster than cold
+    # single-shot engines on the same workload.
+    assert warm_seconds < cold_seconds
+
+    speedup = cold_seconds / warm_seconds
+    point = {
+        "bench": "batch_reuse",
+        "dataset": DATASET,
+        "workload": WORKLOAD,
+        "queries": len(WORKLOAD),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(speedup, 4),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "BENCH_batch_reuse.json", "w") as handle:
+        json.dump(point, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report(
+        "batch_reuse",
+        format_table(
+            ["dataset", "cold [s]", "warm session [s]", "speedup"],
+            [[DATASET, round(cold_seconds, 3), round(warm_seconds, 3),
+              round(speedup, 2)]],
+            title="Warm QuerySession vs cold engines: six-query sweep",
+        ),
+    )

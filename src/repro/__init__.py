@@ -49,6 +49,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.progressive import ProgressiveState, query_progressive
+from repro.session import QueryRequest, QuerySession
 from repro.datasets import (
     load_dataset,
     make_neurons,
@@ -88,6 +89,8 @@ __all__ = [
     "ParallelMIOEngine",
     "PlainBitset",
     "PointLabels",
+    "QueryRequest",
+    "QuerySession",
     "RTreeNestedLoop",
     "SimpleGridAlgorithm",
     "SpatialObject",

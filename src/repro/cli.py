@@ -7,6 +7,7 @@ Commands
 ``stats``      print Table-I style statistics for a dataset file
 ``query``      run an MIO / top-k / temporal query over a dataset file
 ``compare``    run all algorithms on one query and print a comparison
+``batch``      run a JSON workload through one QuerySession (label reuse)
 
 Example session::
 
@@ -14,13 +15,22 @@ Example session::
     python -m repro stats birds.npz
     python -m repro query birds.npz -r 4 --topk 5
     python -m repro compare birds.npz -r 4
+    python -m repro batch workload.json --stats
+
+A workload file names its dataset and lists requests (bare numbers are
+thresholds; objects may set ``k`` and a per-request ``timeout_ms``)::
+
+    {"dataset": "birds.npz",
+     "queries": [4.9, 4.1, {"r": 4.5, "k": 3}, {"r": 8.2, "timeout_ms": 500}]}
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import faults
@@ -36,8 +46,9 @@ from repro.datasets import (
     sample_collection,
     save_collection,
 )
-from repro.errors import ReproError
+from repro.errors import CorruptDataError, ReproError
 from repro.parallel import ParallelMIOEngine
+from repro.session import QuerySession
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--algorithms", nargs="+",
                          default=["nl", "sg", "bigrid"],
                          help="subset of: nl nl-kdtree sg bigrid theoretical")
+
+    batch = commands.add_parser(
+        "batch", help="run a JSON workload through one query session"
+    )
+    batch.add_argument("workload", help="JSON workload file (see module docstring)")
+    batch.add_argument("--stats", action="store_true",
+                       help="emit per-request results and session counters as JSON")
+    batch.add_argument("--backend", default=None,
+                       choices=("ewah", "plain", "roaring"),
+                       help="bitset backend (overrides the workload file)")
+    batch.add_argument("--cores", type=int, default=1,
+                       help="simulated cores; >1 fans with-label queries out")
+    batch.add_argument("--retries", type=int, default=2,
+                       help="per-partition-task retry budget (parallel engine)")
 
     return parser
 
@@ -162,11 +187,95 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_workload(path: str):
+    """Parse a workload file into ``(dataset_path, backend, queries)``.
+
+    The dataset path resolves relative to the workload file's directory,
+    so a workload directory stays relocatable.
+    """
+    workload_path = Path(path)
+    try:
+        document = json.loads(workload_path.read_text())
+    except OSError as exc:
+        raise CorruptDataError(f"{path}: cannot read workload ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise CorruptDataError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict) or "dataset" not in document:
+        raise CorruptDataError(f'{path}: workload must be an object with a "dataset" key')
+    queries = document.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise CorruptDataError(f'{path}: workload needs a non-empty "queries" list')
+    dataset = Path(document["dataset"])
+    if not dataset.is_absolute():
+        dataset = workload_path.parent / dataset
+    return str(dataset), document.get("backend"), queries
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    dataset_path, workload_backend, queries = _load_workload(args.workload)
+    backend = args.backend or workload_backend or "ewah"
+    collection = load_collection(dataset_path)
+    session = QuerySession(
+        collection, backend=backend, cores=args.cores, retries=args.retries
+    )
+    results = session.query_many(queries)
+    if args.stats:
+        payload = {
+            "workload": args.workload,
+            "dataset": dataset_path,
+            "backend": backend,
+            "results": [
+                {
+                    "r": result.r,
+                    "algorithm": result.algorithm,
+                    "winner": result.winner,
+                    "score": result.score,
+                    "exact": result.exact,
+                    "seconds": round(result.total_time, 6),
+                    "topk": result.topk,
+                    "notes": result.notes,
+                }
+                for result in results
+            ],
+            "session": session.stats(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.r,
+                result.algorithm,
+                "-" if result.winner < 0 else f"o_{result.winner}",
+                result.score,
+                "yes" if result.exact else "no",
+                round(result.total_time, 4),
+            ]
+        )
+    print(
+        format_table(
+            ["r", "algorithm", "winner", "score", "exact", "time [s]"],
+            rows,
+            title=f"{args.workload} over {dataset_path} ({backend})",
+        )
+    )
+    stats = session.stats()
+    print(
+        f"session   : {stats['queries']} queries, "
+        f"{stats['label_hits']} with-label, "
+        f"{stats['points_skipped_by_labels']} points skipped via labels, "
+        f"{stats['timeouts']} timeouts"
+    )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "query": _cmd_query,
     "compare": _cmd_compare,
+    "batch": _cmd_batch,
 }
 
 

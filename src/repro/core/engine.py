@@ -24,13 +24,14 @@ from typing import Dict, List, Optional
 from repro import faults
 from repro.bitset.factory import resolve_backend
 from repro.core.labels import LabelStore, PointLabels, labels_match_collection
-from repro.core.lower_bound import LowerBoundResult, compute_lower_bounds
+from repro.core.lower_bound import LowerBoundCache, LowerBoundResult, compute_lower_bounds
 from repro.core.objects import ObjectCollection
 from repro.core.query import MIOResult, PhaseStats
 from repro.core.upper_bound import compute_upper_bounds
 from repro.core.verification import VerificationResult, verify_candidates
 from repro.errors import InvalidQueryError
 from repro.grid.bigrid import BIGrid
+from repro.grid.cache import LargeKeyCache
 from repro.resilience import Deadline, checkpoint
 
 
@@ -51,6 +52,20 @@ class MIOEngine:
         were produced by exactly the same ``r``; ``"paper"`` applies it for
         any ``r'`` with the same ceiling, as the paper describes (see
         DESIGN.md for why that can in principle under-count).
+    key_cache:
+        Optional :class:`~repro.grid.cache.LargeKeyCache` shared by a
+        :class:`~repro.session.QuerySession`: large-grid cell keys are
+        computed once per ``ceil(r)`` instead of once per query.
+    lower_cache:
+        Optional :class:`~repro.core.lower_bound.LowerBoundCache`: repeating
+        an exact ``r`` skips lower-bounding entirely.  When present, the
+        engine always keeps the lower-bound union bitsets and seeds
+        verification with them (sound: union members certainly interact),
+        so cached entries serve label-free and with-label queries alike.
+
+    Both caches are positional (keyed by object ids); whoever injects them
+    owns invalidation on collection change -- the engine itself never mixes
+    collections.
     """
 
     def __init__(
@@ -59,6 +74,8 @@ class MIOEngine:
         backend: str = "ewah",
         label_store: Optional[LabelStore] = None,
         label_reuse: str = "safe",
+        key_cache: Optional[LargeKeyCache] = None,
+        lower_cache: Optional[LowerBoundCache] = None,
     ) -> None:
         if label_reuse not in ("safe", "paper"):
             raise InvalidQueryError('label_reuse must be "safe" or "paper"')
@@ -66,6 +83,8 @@ class MIOEngine:
         self.backend = backend
         self.label_store = label_store
         self.label_reuse = label_reuse
+        self.key_cache = key_cache
+        self.lower_cache = lower_cache
         #: The BIGrid of the most recent query (exposed for inspection).
         self.last_bigrid: Optional[BIGrid] = None
 
@@ -172,6 +191,11 @@ class MIOEngine:
             backend=resolved_backend,
             point_filter=labels.grid_mask if labels is not None else None,
             deadline=deadline,
+            large_keys_provider=(
+                self.key_cache.provider(self.collection, ceil_r)
+                if self.key_cache is not None
+                else None
+            ),
         )
         stats.add_time("grid_mapping", time.perf_counter() - started)
         stats.set_count("small_cells", len(bigrid.small_grid))
@@ -184,9 +208,23 @@ class MIOEngine:
         faults.trip("lower_bounding")
         checkpoint(deadline, "lower_bounding")
         started = time.perf_counter()
-        lower = compute_lower_bounds(
-            bigrid, keep_bitsets=labels is not None, stats=stats, deadline=deadline
+        lower = (
+            self.lower_cache.get(r, bigrid.small_grid.bitset_cls)
+            if self.lower_cache is not None
+            else None
         )
+        if lower is not None:
+            stats.set_count("lower_cache_hit", 1)
+            stats.set_count("tau_max_low", lower.tau_max)
+        else:
+            lower = compute_lower_bounds(
+                bigrid,
+                keep_bitsets=labels is not None or self.lower_cache is not None,
+                stats=stats,
+                deadline=deadline,
+            )
+            if self.lower_cache is not None:
+                self.lower_cache.put(r, lower)
         stats.add_time("lower_bounding", time.perf_counter() - started)
         threshold = lower.tau_max if k == 1 else _kth_largest(lower.values, k)
 

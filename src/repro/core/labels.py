@@ -138,6 +138,10 @@ class LabelStore:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._cache: Dict[int, PointLabels] = {}
+        #: Lookup accounting for session stats: a hit is a :meth:`get` that
+        #: found labels (memory or disk), a miss one that found none.
+        self.hits = 0
+        self.misses = 0
 
     def _path(self, ceil_r: int) -> Path:
         assert self.directory is not None
@@ -153,11 +157,14 @@ class LabelStore:
         """Load labels for ``ceil(r)``, or None if no query produced them yet."""
         cached = self._cache.get(ceil_r)
         if cached is not None:
+            self.hits += 1
             return cached
         if self.directory is None:
+            self.misses += 1
             return None
         path = self._path(ceil_r)
         if not path.exists():
+            self.misses += 1
             return None
         try:
             with np.load(path) as archive:
@@ -168,7 +175,24 @@ class LabelStore:
         except Exception as exc:
             raise CorruptDataError(f"{path}: not a valid label archive ({exc})") from exc
         self._cache[ceil_r] = labels
+        self.hits += 1
         return labels
+
+    def ceilings(self) -> list:
+        """Sorted ``ceil(r)`` values with labels available (memory or disk).
+
+        Batch planners use this to decide which ceiling groups still need a
+        labeling run; the check itself is the O(1)-per-bucket hash lookup
+        the paper assumes for "labels exist?".
+        """
+        available = set(self._cache)
+        if self.directory is not None:
+            for path in self.directory.glob("labels_ceil_*.npz"):
+                try:
+                    available.add(int(path.stem.rsplit("_", 1)[1]))
+                except ValueError:
+                    continue
+        return sorted(available)
 
     def put(self, ceil_r: int, labels: PointLabels) -> None:
         """Persist labels produced by a labeling run (post-processing)."""

@@ -13,8 +13,9 @@ key lists -- so objects in sparse space touch no cell at all here.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Type
 
 from repro.bitset.base import Bitset
 from repro.core.query import PhaseStats
@@ -31,6 +32,74 @@ class LowerBoundResult:
     #: The union bitsets ``b(o_i)`` (bit ``i`` included), kept only when the
     #: caller needs them to seed verification in with-label mode.
     bitsets: Optional[List[Optional[Bitset]]]
+
+
+class LowerBoundCache:
+    """Per-exact-``r`` cache of complete lower-bounding results.
+
+    The small grid's cell width is a function of the *exact* threshold
+    (``r / sqrt(d)``), so unlike labels and large-grid keys this state can
+    only be reused when a later query repeats the same ``r`` -- the common
+    case in monitoring workloads that poll a fixed threshold.  Reuse is
+    sound across label-free and with-label runs of the same collection
+    because Labeling-1 points never enter any shared small cell (Lemma 3:
+    their large-cell neighborhood holds no other object, hence neither does
+    any contained small cell), leaving every key-list union unchanged.
+
+    Bitsets are stored as backend-agnostic big ints and rebuilt with the
+    querying backend's class, so a mid-session backend degradation cannot
+    poison the cache.  Entries are complete results only: the engine stores
+    after ``compute_lower_bounds`` returns, never on a timeout.  An LRU cap
+    bounds memory across long threshold sweeps.
+    """
+
+    __slots__ = ("max_entries", "_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = 8) -> None:
+        self.max_entries = max_entries
+        #: ``r -> (values, tau_max, bitset_ints)`` in LRU order.
+        self._entries: "OrderedDict[float, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, r: float, bitset_cls: Type[Bitset]) -> Optional[LowerBoundResult]:
+        entry = self._entries.get(r)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(r)
+        values, tau_max, bitset_ints = entry
+        return LowerBoundResult(
+            values=list(values),
+            tau_max=tau_max,
+            bitsets=[
+                bitset_cls.from_int(value) if value else None
+                for value in bitset_ints
+            ],
+        )
+
+    def put(self, r: float, result: LowerBoundResult) -> None:
+        if result.bitsets is None:
+            # Without the union bitsets a cached entry could not seed
+            # verification; only complete keep-bitsets results are stored.
+            return
+        bitset_ints = [
+            bitset.to_int() if bitset is not None else 0 for bitset in result.bitsets
+        ]
+        self._entries[r] = (list(result.values), result.tau_max, bitset_ints)
+        self._entries.move_to_end(r)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        return {"lower_cache_hits": self.hits, "lower_cache_misses": self.misses}
 
 
 def compute_lower_bounds(

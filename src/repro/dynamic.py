@@ -47,6 +47,12 @@ class DynamicMIO:
         self._next_handle = 0
         self._engine: Optional[MIOEngine] = None
         self._handle_of_position: List[int] = []
+        #: Monotone mutation counter.  Sessions watch it to drop *their own*
+        #: positional caches (labels, grid keys, lower bounds) on mutation:
+        #: after a remove+add of same-shaped objects the re-compacted
+        #: collection can alias positions, so shape checks alone
+        #: (``labels_match_collection``) cannot detect the staleness.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -80,6 +86,7 @@ class DynamicMIO:
         # Labels are positional; any mutation makes stored labels unsound.
         self._engine = None
         self._handle_of_position = []
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Inspection
@@ -102,15 +109,26 @@ class DynamicMIO:
     # Queries
     # ------------------------------------------------------------------
 
+    def snapshot(self) -> Tuple[ObjectCollection, List[int]]:
+        """The current contents compiled to a static collection.
+
+        Returns ``(collection, handle_of_position)``; positions in the
+        collection map back to stable handles through the second element.
+        Sessions pair this with :attr:`version` to know when a snapshot
+        (and every positional cache derived from it) has gone stale.
+        """
+        if len(self._points) < 2:
+            raise ValueError("MIO queries need at least two objects")
+        handles = sorted(self._points)
+        collection = ObjectCollection.from_point_arrays(
+            [self._points[handle] for handle in handles]
+        )
+        return collection, handles
+
     def _compile(self) -> MIOEngine:
         if self._engine is None:
-            if len(self._points) < 2:
-                raise ValueError("MIO queries need at least two objects")
-            handles = sorted(self._points)
+            collection, handles = self.snapshot()
             self._handle_of_position = handles
-            collection = ObjectCollection.from_point_arrays(
-                [self._points[handle] for handle in handles]
-            )
             store = LabelStore() if self.use_labels else None
             self._engine = MIOEngine(collection, backend=self.backend, label_store=store)
         return self._engine

@@ -35,6 +35,11 @@ from repro.resilience import Deadline, checkpoint
 
 PointFilter = Callable[[int], Optional[np.ndarray]]
 
+#: ``(oid, selected_indices) -> large-grid keys`` for the selected points.
+#: Supplied by a session's :class:`~repro.grid.cache.LargeKeyCache` so the
+#: per-point large-key computation is shared across same-ceiling queries.
+LargeKeysProvider = Callable[[int, np.ndarray], List[Key]]
+
 
 class BIGrid:
     """The built index for one distance threshold ``r``."""
@@ -86,6 +91,7 @@ class BIGrid:
         small_width: Optional[float] = None,
         large_width: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        large_keys_provider: Optional[LargeKeysProvider] = None,
     ) -> "BIGrid":
         """GRID-MAPPING(O, r): build both grids in one scan of the points.
 
@@ -111,7 +117,10 @@ class BIGrid:
                 continue
             mapped_points += len(indices)
             small_keys = compute_keys(obj.points[indices], s_width)
-            large_keys = compute_keys(obj.points[indices], l_width)
+            if large_keys_provider is not None and large_width is None:
+                large_keys = large_keys_provider(oid, indices)
+            else:
+                large_keys = compute_keys(obj.points[indices], l_width)
             groups = object_groups[oid]
             for position, point_index in enumerate(indices):
                 # Small grid (lines 3-13): maintain bitsets and key lists.

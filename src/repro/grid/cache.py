@@ -1,0 +1,80 @@
+"""Cross-query grid state caches.
+
+The large grid (Definition 3) is a pure function of ``ceil(r)``: its cell
+width is ``ceil(r)`` (float-guarded, see :mod:`repro.grid.keys`), so the
+mapping from every point to its large-grid cell key is *identical* for all
+thresholds sharing one ceiling.  A single query still has to hash every
+point into that grid, but across a batched workload the key computation --
+``floor(point / width)`` over all ``nm`` points -- is repeated work that a
+session can cache once per ceiling.
+
+:class:`LargeKeyCache` holds, per ``(ceil(r), oid)``, the full per-point
+large-grid key list of one object and hands :meth:`provider` callables to
+``BIGrid.build`` (and the parallel engine's grid mapping).  A with-label
+query maps only a filtered subset of points; the provider therefore indexes
+the cached full key list by the surviving point indices, which keeps one
+cache entry valid for label-free and with-label runs alike.
+
+The cache is keyed by *position* (object ids), exactly like point labels;
+it must be cleared whenever the collection changes.  :class:`~repro.session.
+QuerySession` owns that lifecycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.objects import ObjectCollection
+from repro.grid.keys import Key, compute_keys, large_cell_width
+
+#: ``provider(oid, selected_indices) -> keys`` for the selected points.
+LargeKeysProvider = Callable[[int, np.ndarray], List[Key]]
+
+
+class LargeKeyCache:
+    """Per-``ceil(r)`` cache of every object's large-grid cell keys."""
+
+    __slots__ = ("_keys", "hits", "misses")
+
+    def __init__(self) -> None:
+        #: ``(ceil_r, oid) -> per-point key list`` (all points of the object).
+        self._keys: Dict[Tuple[int, int], List[Key]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def provider(
+        self, collection: ObjectCollection, ceil_r: int
+    ) -> LargeKeysProvider:
+        """A ``BIGrid.build``-compatible key provider for one ceiling.
+
+        ``large_cell_width`` depends only on ``ceil(r)``, so computing it
+        from the ceiling itself yields the exact width every ``r`` in the
+        bucket uses.
+        """
+        width = large_cell_width(float(ceil_r))
+
+        def provide(oid: int, indices: np.ndarray) -> List[Key]:
+            entry = self._keys.get((ceil_r, oid))
+            if entry is None:
+                self.misses += 1
+                entry = compute_keys(collection[oid].points, width)
+                self._keys[(ceil_r, oid)] = entry
+            else:
+                self.hits += 1
+            if len(indices) == len(entry):
+                return entry
+            return [entry[i] for i in indices]
+
+        return provide
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def clear(self) -> None:
+        """Drop all cached keys (required on any collection mutation)."""
+        self._keys.clear()
+
+    def counters(self) -> Dict[str, int]:
+        return {"grid_key_cache_hits": self.hits, "grid_key_cache_misses": self.misses}

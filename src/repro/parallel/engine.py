@@ -49,6 +49,7 @@ from repro.core.verification import _bits_of
 from repro.errors import InjectedFault, InvalidQueryError, PartitionTaskError
 from repro.baselines.simple_grid import SimpleGridAlgorithm
 from repro.grid.bigrid import BIGrid
+from repro.grid.cache import LargeKeyCache
 from repro.grid.keys import compute_keys, large_cell_width, small_cell_width
 from repro.grid.large_grid import LargeGrid
 from repro.grid.small_grid import SmallGrid
@@ -87,6 +88,7 @@ class ParallelMIOEngine:
         label_reuse: str = "safe",
         retries: int = 2,
         serial_fallback: bool = True,
+        key_cache: Optional[LargeKeyCache] = None,
     ) -> None:
         if lb_strategy not in LB_STRATEGIES:
             raise InvalidQueryError(f"lb_strategy must be one of {LB_STRATEGIES}")
@@ -107,6 +109,11 @@ class ParallelMIOEngine:
         #: to the serial engine instead of crashing).
         self.retries = retries
         self.serial_fallback = serial_fallback
+        #: Optional session-shared large-grid key cache (see
+        #: :class:`~repro.grid.cache.LargeKeyCache`): the key computation in
+        #: grid mapping is reused across same-ceiling queries, exactly as in
+        #: the serial engine.  The serial fallback engine shares it too.
+        self.key_cache = key_cache
 
     # ------------------------------------------------------------------
     # Public API
@@ -169,6 +176,7 @@ class ParallelMIOEngine:
             backend=self.backend,
             label_store=self.label_store,
             label_reuse=self.label_reuse,
+            key_cache=self.key_cache,
         )
         result = engine._run(r, k=k, want_ranking=want_ranking, deadline=deadline)
         result.counters["serial_fallback"] = 1
@@ -256,7 +264,7 @@ class ParallelMIOEngine:
         with gc_paused():
             self._map_objects(
                 collection, labels, small_grid, large_grid, key_lists,
-                object_groups, s_width, l_width, report,
+                object_groups, s_width, l_width, report, r,
             )
         mapped_points = sum(
             len(points)
@@ -271,8 +279,13 @@ class ParallelMIOEngine:
 
     def _map_objects(
         self, collection, labels, small_grid, large_grid, key_lists,
-        object_groups, s_width, l_width, report,
+        object_groups, s_width, l_width, report, r,
     ) -> None:
+        keys_provider = (
+            self.key_cache.provider(collection, math.ceil(r))
+            if self.key_cache is not None
+            else None
+        )
         for obj in collection:
             oid = obj.oid
             if labels is not None:
@@ -282,7 +295,10 @@ class ParallelMIOEngine:
             if len(indices) == 0:
                 continue
             small_keys = compute_keys(obj.points[indices], s_width)
-            large_keys = compute_keys(obj.points[indices], l_width)
+            if keys_provider is not None:
+                large_keys = keys_provider(oid, indices)
+            else:
+                large_keys = compute_keys(obj.points[indices], l_width)
             chunks = hash_partition(len(indices), self.cores)
             round_max = 0.0
             for core, chunk in enumerate(chunks):

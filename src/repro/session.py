@@ -1,0 +1,394 @@
+"""Batched query sessions with cross-query label and index reuse.
+
+The labeling scheme of Section III-D exists so that *future* queries with
+the same ``ceil(r)`` skip work, yet a bare :class:`~repro.core.engine.
+MIOEngine` only reuses state if the caller hand-threads a
+:class:`~repro.core.labels.LabelStore` through every call.
+:class:`QuerySession` packages that lifecycle for a query *workload*: it
+owns one collection plus three positional caches, each sound at a
+different granularity:
+
+===================  =======================  ==============================
+cache                keyed by                 sound because
+===================  =======================  ==============================
+point labels         ``ceil(r)``              Definition 4 / Section III-D
+large-grid keys      ``ceil(r)``              large width = ``ceil(r)``
+                                              (Definition 3)
+lower-bound state    exact ``r``              small width = ``r / sqrt(d)``;
+                                              Labeling-1 points never enter
+                                              shared small cells (Lemma 3)
+===================  =======================  ==============================
+
+All three are positional (object ids), so the session is also the unit of
+*invalidation*: a session over a :class:`~repro.dynamic.DynamicMIO` watches
+its mutation :attr:`~repro.dynamic.DynamicMIO.version` and drops every
+cache when the collection changes -- the shape-based
+``labels_match_collection`` guard cannot catch a remove+add of same-shaped
+objects, the unsound-reuse scenario ``dynamic.py`` documents.
+
+:meth:`QuerySession.query_many` plans a batch the way Section III-D's
+analyst workload wants: requests grouped by ``ceil(r)``, largest ``r``
+first within each group, so the group's first query produces labels at the
+most general threshold and every other query runs the WITH-LABEL pipeline.
+Each request keeps its own deadline (PR 1 semantics); a request that times
+out degrades to an ``exact=False`` result *for that request only* and never
+poisons the rest of the batch.  With ``cores > 1`` the session sends
+labeling runs through the serial engine (labeling needs the canonical
+serial access order) and everything else through the parallel engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.engine import MIOEngine
+from repro.core.labels import LabelStore
+from repro.core.lower_bound import LowerBoundCache
+from repro.core.objects import ObjectCollection
+from repro.core.query import MIOResult
+from repro.dynamic import DynamicMIO
+from repro.errors import InvalidQueryError, QueryTimeout
+from repro.grid.cache import LargeKeyCache
+from repro.parallel.engine import ParallelMIOEngine
+from repro.resilience import Deadline
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One request of a batched workload.
+
+    ``timeout_ms`` budgets the request from its own start (PR 1 semantics);
+    ``deadline`` overrides it with an explicit budget object, which lets
+    tests drive expiry deterministically with a
+    :class:`~repro.resilience.ManualClock`.
+    """
+
+    r: float
+    k: int = 1
+    timeout_ms: Optional[float] = None
+    deadline: Optional[Deadline] = None
+
+    def ceiling(self) -> int:
+        return math.ceil(self.r)
+
+
+RequestLike = Union[QueryRequest, float, int, dict]
+
+
+def _normalize(spec: RequestLike) -> QueryRequest:
+    """Coerce a workload entry (number, dict, or request) to a request."""
+    if isinstance(spec, QueryRequest):
+        request = spec
+    elif isinstance(spec, dict):
+        unknown = set(spec) - {"r", "k", "timeout_ms"}
+        if unknown:
+            raise InvalidQueryError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}"
+            )
+        if "r" not in spec:
+            raise InvalidQueryError('a request object needs an "r" field')
+        request = QueryRequest(
+            r=float(spec["r"]),
+            k=int(spec.get("k", 1)),
+            timeout_ms=spec["timeout_ms"] if spec.get("timeout_ms") is not None else None,
+        )
+    elif isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        request = QueryRequest(r=float(spec))
+    else:
+        raise InvalidQueryError(
+            f"a request must be a number, a dict, or a QueryRequest, got {spec!r}"
+        )
+    if not request.r > 0 or math.isinf(request.r):
+        raise InvalidQueryError("the distance threshold r must be positive and finite")
+    if request.k < 1:
+        raise InvalidQueryError("k must be at least 1")
+    return request
+
+
+class QuerySession:
+    """A long-lived query context over one collection with warm caches.
+
+    Parameters
+    ----------
+    source:
+        A static :class:`ObjectCollection`, or a :class:`DynamicMIO` whose
+        mutations the session tracks (every mutation invalidates all
+        caches before the next query runs).
+    backend / label_reuse / retries:
+        Forwarded to the engines (see :class:`MIOEngine` and
+        :class:`ParallelMIOEngine`).
+    cores:
+        ``1`` runs everything on the serial engine.  ``> 1`` routes
+        with-label queries through the parallel engine while labeling runs
+        stay serial (the parallel engine never writes labels).
+    label_dir:
+        Optional directory for a disk-backed label store (labels survive
+        the session, as the paper's external-memory setting assumes).
+    """
+
+    def __init__(
+        self,
+        source: Union[ObjectCollection, DynamicMIO],
+        backend: str = "ewah",
+        label_reuse: str = "safe",
+        cores: int = 1,
+        retries: int = 2,
+        label_dir=None,
+        lower_cache_entries: int = 8,
+    ) -> None:
+        if cores < 1:
+            raise InvalidQueryError("cores must be at least 1")
+        self.backend = backend
+        self.label_reuse = label_reuse
+        self.cores = cores
+        self.retries = retries
+        self.label_store = LabelStore(label_dir)
+        self.key_cache = LargeKeyCache()
+        self.lower_cache = LowerBoundCache(lower_cache_entries)
+        self.counters: Dict[str, int] = {
+            "queries": 0,
+            "batches": 0,
+            "label_hits": 0,
+            "label_misses": 0,
+            "points_skipped_by_labels": 0,
+            "timeouts": 0,
+            "anytime_results": 0,
+            "invalidations": 0,
+            "parallel_queries": 0,
+        }
+        self._serial: Optional[MIOEngine] = None
+        self._parallel: Optional[ParallelMIOEngine] = None
+        if isinstance(source, DynamicMIO):
+            self._dynamic: Optional[DynamicMIO] = source
+            self._seen_version: Optional[int] = None
+            self.collection: Optional[ObjectCollection] = None
+            self.handle_of_position: List[int] = []
+        elif isinstance(source, ObjectCollection):
+            self._dynamic = None
+            self._seen_version = None
+            self.collection = source
+            self.handle_of_position = list(range(source.n))
+            self._build_engines()
+        else:
+            raise InvalidQueryError(
+                "source must be an ObjectCollection or a DynamicMIO, "
+                f"got {type(source).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # Cache lifecycle
+    # ------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cross-query cache (labels, grid keys, lower bounds).
+
+        Called automatically when a :class:`DynamicMIO` source mutates;
+        callable directly when the caller knows its data changed under a
+        static collection (e.g. after rebuilding the session's input).
+        """
+        self.label_store.clear()
+        self.key_cache.clear()
+        self.lower_cache.clear()
+        self.counters["invalidations"] += 1
+
+    def _build_engines(self) -> None:
+        self._serial = MIOEngine(
+            self.collection,
+            backend=self.backend,
+            label_store=self.label_store,
+            label_reuse=self.label_reuse,
+            key_cache=self.key_cache,
+            lower_cache=self.lower_cache,
+        )
+        self._parallel = (
+            ParallelMIOEngine(
+                self.collection,
+                cores=self.cores,
+                backend=self.backend,
+                label_store=self.label_store,
+                label_reuse=self.label_reuse,
+                retries=self.retries,
+                key_cache=self.key_cache,
+            )
+            if self.cores > 1
+            else None
+        )
+
+    def _refresh(self) -> None:
+        """Re-snapshot a dynamic source; invalidate if it mutated."""
+        if self._dynamic is None:
+            return
+        if self._serial is not None and self._seen_version == self._dynamic.version:
+            return
+        collection, handles = self._dynamic.snapshot()
+        if self._serial is not None:
+            # The previous snapshot's positional caches are unsound for the
+            # re-compacted collection even when every shape coincides.
+            self.invalidate()
+        self.collection = collection
+        self.handle_of_position = handles
+        self._seen_version = self._dynamic.version
+        self._build_engines()
+
+    def handle_of(self, position: int) -> int:
+        """Map a result's winner position to the source's stable handle."""
+        if position < 0:
+            return position
+        return self.handle_of_position[position]
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        r: float,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> MIOResult:
+        """One MIO query through the session's warm caches."""
+        self._refresh()
+        return self._execute(
+            _normalize(QueryRequest(r=r, timeout_ms=timeout_ms, deadline=deadline)),
+            catch_timeout=False,
+        )
+
+    def topk(
+        self,
+        r: float,
+        k: int,
+        timeout_ms: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> MIOResult:
+        """The top-k variant through the session's warm caches."""
+        self._refresh()
+        return self._execute(
+            _normalize(QueryRequest(r=r, k=k, timeout_ms=timeout_ms, deadline=deadline)),
+            catch_timeout=False,
+        )
+
+    # Alias mirroring the engine's method name.
+    query_topk = topk
+
+    def query_many(self, requests: Iterable[RequestLike]) -> List[MIOResult]:
+        """Run a batch of requests, maximizing cross-query reuse.
+
+        Execution order groups requests by ``ceil(r)`` (ascending) and runs
+        the largest ``r`` of each group first, so one labeling run serves
+        the whole group; ties keep submission order.  Results come back in
+        the *caller's* order.  A request whose deadline expires before
+        verification yields an ``exact=False`` result with ``winner == -1``
+        (no verified answer exists yet) instead of raising, so one slow
+        request cannot poison its batch; an expiry during verification
+        already degrades to the engine's anytime answer.
+        """
+        self._refresh()
+        normalized = [_normalize(spec) for spec in requests]
+        if not normalized:
+            return []
+        order = sorted(
+            range(len(normalized)),
+            key=lambda i: (normalized[i].ceiling(), -normalized[i].r, i),
+        )
+        results: List[Optional[MIOResult]] = [None] * len(normalized)
+        for index in order:
+            results[index] = self._execute(normalized[index], catch_timeout=True)
+        self.counters["batches"] += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _pick_engine(self, ceil_r: int):
+        """Serial unless labels for the ceiling exist and cores > 1.
+
+        Labeling requires the canonical serial access order, so the first
+        query of an unlabeled ceiling always runs serial; once labels
+        exist, a multi-core session fans the remaining queries out.
+        """
+        if self._parallel is not None and self.label_store.has(ceil_r):
+            return self._parallel
+        return self._serial
+
+    def _execute(self, request: QueryRequest, catch_timeout: bool) -> MIOResult:
+        deadline = request.deadline
+        if deadline is None:
+            deadline = Deadline.from_timeout_ms(request.timeout_ms)
+        engine = self._pick_engine(request.ceiling())
+        try:
+            if request.k == 1:
+                result = engine.query(request.r, deadline=deadline)
+            else:
+                result = engine.query_topk(request.r, request.k, deadline=deadline)
+        except QueryTimeout as exc:
+            if not catch_timeout:
+                raise
+            result = self._timeout_result(request, exc)
+        self._account(result, parallel=engine is self._parallel)
+        return result
+
+    def _timeout_result(self, request: QueryRequest, exc: QueryTimeout) -> MIOResult:
+        """A degraded per-request answer for a pre-verification expiry.
+
+        No verified lower bound exists before verification starts, so the
+        result carries the sentinel ``winner == -1`` with score 0 (a valid,
+        if vacuous, lower bound) and records where time ran out.
+        """
+        self.counters["timeouts"] += 1
+        return MIOResult(
+            algorithm="bigrid",
+            r=request.r,
+            winner=-1,
+            score=0,
+            exact=False,
+            notes={
+                "anytime": f"deadline expired during {exc.phase or 'filtering'} "
+                           "(no verified answer)",
+            },
+        )
+
+    def _account(self, result: MIOResult, parallel: bool) -> None:
+        """Fold one result into the session counters (and annotate it)."""
+        self.counters["queries"] += 1
+        with_label = result.algorithm.startswith("bigrid-label")
+        if with_label:
+            self.counters["label_hits"] += 1
+        else:
+            self.counters["label_misses"] += 1
+        skipped = 0
+        if self.collection is not None and "mapped_points" in result.counters:
+            skipped = self.collection.total_points - result.counters["mapped_points"]
+            self.counters["points_skipped_by_labels"] += skipped
+        if not result.exact:
+            self.counters["anytime_results"] += 1
+        if parallel:
+            self.counters["parallel_queries"] += 1
+        result.counters["session_label_hit"] = int(with_label)
+        result.counters["session_points_skipped"] = skipped
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Merged session counters: reuse, cache hit/miss, degradations."""
+        merged = dict(self.counters)
+        merged.update(self.key_cache.counters())
+        merged.update(self.lower_cache.counters())
+        merged["label_store_hits"] = self.label_store.hits
+        merged["label_store_misses"] = self.label_store.misses
+        merged["label_ceilings"] = len(self.label_store.ceilings())
+        return merged
+
+    def __repr__(self) -> str:
+        target = (
+            f"dynamic v{self._dynamic.version}" if self._dynamic is not None
+            else repr(self.collection)
+        )
+        return (
+            f"QuerySession({target}, backend={self.backend!r}, cores={self.cores}, "
+            f"queries={self.counters['queries']})"
+        )

@@ -7,13 +7,34 @@ baselines, and index can all be validated against it without circularity.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 from scipy.spatial.distance import cdist
 
 from repro.core.objects import ObjectCollection
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles
+#
+# "dev" (default) keeps the tier-1 run fast; "ci" is the exhaustive,
+# seed-fixed configuration the CI property job selects with
+# HYPOTHESIS_PROFILE=ci -- 500 examples per test (and the session
+# equivalence suites parametrize over every bitset backend, so that is
+# 500 examples *per backend*), derandomized so failures reproduce.
+# Per-test @settings(...) decorators still override individual fields.
+# ----------------------------------------------------------------------
+
+_RELAXED = [HealthCheck.too_slow, HealthCheck.data_too_large, HealthCheck.filter_too_much]
+
+settings.register_profile("dev", max_examples=30, deadline=None,
+                          suppress_health_check=_RELAXED)
+settings.register_profile("ci", max_examples=500, deadline=None, derandomize=True,
+                          suppress_health_check=_RELAXED)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def oracle_scores(collection: ObjectCollection, r: float) -> List[int]:

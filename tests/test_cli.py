@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -155,3 +157,79 @@ class TestFailureModes:
         monkeypatch.setenv("REPRO_FAULTS", "io:latency:1:0")
         assert main(["query", dataset_file, "-r", "2.0"]) == 0
         assert faults.active() is None
+
+
+class TestBatch:
+    @pytest.fixture
+    def workload_file(self, tmp_path, dataset_file):
+        # The dataset path is relative: it must resolve against the
+        # workload file's own directory, keeping the pair relocatable.
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps({
+            "dataset": "data.npz",
+            "queries": [4.9, 4.1, {"r": 4.5, "k": 3}],
+        }))
+        return str(path)
+
+    def test_batch_table_output(self, workload_file, capsys):
+        code = main(["batch", workload_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bigrid-label" in out
+        assert "session   :" in out and "3 queries" in out
+
+    def test_batch_stats_json(self, workload_file, capsys):
+        code = main(["batch", workload_file, "--stats"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["r"] for entry in payload["results"]] == [4.9, 4.1, 4.5]
+        algorithms = [entry["algorithm"] for entry in payload["results"]]
+        assert algorithms == ["bigrid", "bigrid-label", "bigrid-label"]
+        assert len(payload["results"][2]["topk"]) == 3
+        assert payload["session"]["label_hits"] == 2
+        assert all(entry["exact"] for entry in payload["results"])
+
+    def test_batch_timeout_marks_single_request(self, tmp_path, dataset_file, capsys):
+        path = tmp_path / "timeout.json"
+        path.write_text(json.dumps({
+            "dataset": "data.npz",
+            "queries": [4.9, {"r": 4.5, "timeout_ms": 0.0001}],
+        }))
+        code = main(["batch", str(path), "--stats"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        doomed = payload["results"][1]
+        assert not doomed["exact"] and doomed["winner"] == -1
+        assert payload["results"][0]["exact"]
+        assert payload["session"]["timeouts"] == 1
+
+    def test_batch_backend_override(self, workload_file, capsys):
+        code = main(["batch", workload_file, "--backend", "roaring"])
+        assert code == 0
+        assert "roaring" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("body", [
+        "not json at all",
+        '["just", "a", "list"]',
+        '{"queries": [1.0]}',
+        '{"dataset": "data.npz", "queries": []}',
+    ])
+    def test_corrupt_workload_exit_code(self, tmp_path, capsys, body):
+        path = tmp_path / "bad.json"
+        path.write_text(body)
+        code = main(["batch", str(path)])
+        assert code == 12
+        assert "CorruptDataError" in capsys.readouterr().err
+
+    def test_missing_workload_exit_code(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "absent.json")])
+        assert code == 12
+
+    def test_invalid_request_exit_code(self, tmp_path, dataset_file, capsys):
+        path = tmp_path / "bad_request.json"
+        path.write_text(json.dumps({
+            "dataset": "data.npz", "queries": [{"r": -1.0}],
+        }))
+        code = main(["batch", str(path)])
+        assert code == 11
+        assert "InvalidQueryError" in capsys.readouterr().err

@@ -69,6 +69,25 @@ class TestLabelStore:
         assert not store.has(4)
         assert not list(tmp_path.glob("*.npz"))
 
+    def test_ceilings_lists_memory_and_disk(self, tmp_path):
+        store = LabelStore(tmp_path)
+        store.put(4, PointLabels([1], r=4.0))
+        store.put(7, PointLabels([1], r=6.5))
+        # A fresh instance sees only the on-disk archives.
+        assert LabelStore(tmp_path).ceilings() == [4, 7]
+        # Foreign files that merely match the glob are skipped, not parsed.
+        (tmp_path / "labels_ceil_junk.npz").write_bytes(b"junk")
+        assert LabelStore(tmp_path).ceilings() == [4, 7]
+        assert LabelStore().ceilings() == []
+
+    def test_corrupt_archive_raises_taxonomy_error(self, tmp_path):
+        from repro.errors import CorruptDataError
+
+        store = LabelStore(tmp_path)
+        (tmp_path / "labels_ceil_3.npz").write_bytes(b"not an archive")
+        with pytest.raises(CorruptDataError):
+            store.get(3)
+
 
 class TestEngineLabelReuse:
     def test_first_query_labels_second_reuses(self, clustered_collection):

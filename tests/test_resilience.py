@@ -134,3 +134,81 @@ class TestEnvParsing:
         assert env_seeds("seeds=1,7,9") == [1, 7, 9]
         assert env_seeds("verification:fail") == []
         assert env_seeds(None) == []
+
+
+class TestBatchTimeoutIsolation:
+    """Satellite: one expired request degrades alone, never its batch."""
+
+    @staticmethod
+    def _collection():
+        from conftest import random_collection
+
+        return random_collection(n=20, mean_points=5, seed=5)
+
+    def test_single_query_still_raises(self):
+        from repro.session import QuerySession
+
+        session = QuerySession(self._collection())
+        with pytest.raises(QueryTimeout):
+            session.query(4.5, deadline=Deadline(0.0, clock=ManualClock(step=1.0)))
+
+    def test_one_timeout_does_not_poison_the_batch(self):
+        from repro.core.engine import MIOEngine
+        from repro.session import QueryRequest, QuerySession
+
+        collection = self._collection()
+        doomed = QueryRequest(
+            r=4.5, deadline=Deadline(0.0, clock=ManualClock(step=1.0))
+        )
+        session = QuerySession(collection)
+        results = session.query_many([4.9, doomed, 4.2])
+
+        assert not results[1].exact
+        assert results[1].winner == -1 and results[1].score == 0
+        assert "anytime" in results[1].notes
+
+        for index in (0, 2):
+            fresh = MIOEngine(collection).query(results[index].r)
+            assert results[index].exact
+            assert (results[index].winner, results[index].score) == (
+                fresh.winner, fresh.score,
+            )
+        stats = session.stats()
+        assert stats["timeouts"] == 1
+        assert stats["anytime_results"] == 1
+
+    def test_timed_out_labeling_run_does_not_poison_its_group(self):
+        from repro.session import QueryRequest, QuerySession
+
+        # The doomed request is the group's would-be labeling run (largest
+        # r of the ceiling); the next request must simply inherit that role.
+        doomed = QueryRequest(
+            r=4.9, deadline=Deadline(0.0, clock=ManualClock(step=1.0))
+        )
+        session = QuerySession(self._collection())
+        results = session.query_many([doomed, 4.5, 4.2])
+        assert not results[0].exact
+        assert results[1].algorithm == "bigrid"          # promoted labeling run
+        assert results[2].algorithm == "bigrid-label"    # still reuses labels
+        assert results[1].exact and results[2].exact
+
+    def test_deadline_expiring_in_verification_keeps_anytime_answer(self):
+        from repro.session import QuerySession
+
+        # Injected latency burns the first request's budget inside
+        # verification, where the engine degrades to its verified prefix
+        # instead of raising (PR 1 anytime semantics); the session keeps
+        # that partial answer and the rest of the batch stays exact.
+        injector = from_env("verification:latency:1:400")
+        faults.install(injector)
+        try:
+            session = QuerySession(self._collection())
+            results = session.query_many([{"r": 4.5, "timeout_ms": 200}, 4.2])
+        finally:
+            faults.install(None)
+        assert not results[0].exact
+        assert results[0].winner >= 0
+        assert "anytime" in results[0].notes
+        assert results[1].exact
+        assert session.stats()["anytime_results"] == 1
+        assert session.stats()["timeouts"] == 0

@@ -1,0 +1,164 @@
+"""Property suites for :class:`repro.session.QuerySession` (Satellites 1-2).
+
+Two invariants, checked over randomized collections, backends, and
+threshold sequences:
+
+1. **Session equivalence** -- ``query_many`` over a warm session returns
+   results element-wise identical (winner, score, and top-k included) to
+   fresh single-shot :class:`~repro.core.engine.MIOEngine` runs, both on a
+   cold session and after a second, fully warm pass.  This is the claim
+   that makes every cache tier (labels per ``ceil(r)``, large-grid keys
+   per ceiling, lower-bound state per exact ``r``) safe to ship: reuse may
+   only change *speed*, never answers.
+
+2. **Oracle differential** -- session scores equal the brute-force
+   nested-loop oracle, and the winner is one of the oracle's argmax
+   objects.  The generator deliberately produces coincident/duplicate
+   points, single-point objects, ceiling-colliding thresholds, and 3-D
+   collections, the edge cases Section III-D's labels must survive.
+
+The generator biases thresholds to share one ``ceil(r)`` (so label reuse
+actually triggers) and repeats exact values (so the lower-bound cache
+actually hits); ``HYPOTHESIS_PROFILE=ci`` raises the example budget to 500
+per backend (see ``conftest.py``).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.engine import MIOEngine
+from repro.core.objects import ObjectCollection
+from repro.session import QuerySession
+
+from conftest import oracle_scores
+
+BACKENDS = ("ewah", "plain", "roaring")
+
+# A tiny shared value pool makes coincident and duplicate points common
+# instead of measure-zero; the continuous alternative keeps coverage broad.
+_POOL = (0.0, 0.5, 1.0, 2.5)
+_coordinate = st.one_of(
+    st.sampled_from(_POOL),
+    st.floats(min_value=-6.0, max_value=6.0, allow_nan=False, width=32),
+)
+
+
+@st.composite
+def collections(draw):
+    """2-D or 3-D collections of 2-8 small, possibly degenerate objects."""
+    dimension = draw(st.sampled_from((2, 3)))
+    n = draw(st.integers(min_value=2, max_value=8))
+    arrays = []
+    for _ in range(n):
+        count = draw(st.integers(min_value=1, max_value=5))
+        points = [
+            [draw(_coordinate) for _ in range(dimension)] for _ in range(count)
+        ]
+        arrays.append(np.array(points, dtype=np.float64))
+    return ObjectCollection.from_point_arrays(arrays)
+
+
+@st.composite
+def r_sequences(draw):
+    """1-6 thresholds biased toward one shared ceiling, with repeats.
+
+    Most values land in ``(ceiling - 1, ceiling]`` so the batch planner
+    forms a real label-reuse group; an occasional stray from another bucket
+    checks the buckets stay separate, and repeating an earlier value
+    exercises the exact-``r`` lower-bound cache.  Integer thresholds (bucket
+    boundaries) are drawn explicitly since floats rarely hit them.
+    """
+    ceiling = draw(st.integers(min_value=1, max_value=5))
+    # ``ceiling - offset`` stays inside the bucket while keeping r >= 0.125:
+    # sub-normal thresholds overflow the grid's int64 cell arithmetic, a
+    # numeric regime the paper's r ranges never approach.
+    offset = st.floats(min_value=0.0, max_value=0.875, allow_nan=False, width=32)
+    in_bucket = st.builds(lambda o: float(ceiling) - float(o), offset)
+    rs = [draw(in_bucket)]
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        kind = draw(st.sampled_from(("bucket", "repeat", "stray")))
+        if kind == "repeat":
+            rs.append(draw(st.sampled_from(rs)))
+        elif kind == "stray":
+            rs.append(draw(st.floats(
+                min_value=0.125, max_value=8.0, allow_nan=False, width=32,
+            )))
+        else:
+            rs.append(draw(in_bucket))
+    return rs
+
+
+def _fingerprint(result):
+    return (result.winner, result.score, result.topk, result.exact)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(collection=collections(), rs=r_sequences(), k=st.sampled_from((1, 3)))
+def test_query_many_matches_fresh_engines(backend, collection, rs, k):
+    """Satellite 1: batch reuse is answer-preserving, cold and warm."""
+    requests = [{"r": r, "k": k} for r in rs]
+    session = QuerySession(collection, backend=backend)
+    cold = session.query_many(requests)
+    warm = session.query_many(requests)
+    for r, cold_result, warm_result in zip(rs, cold, warm):
+        fresh_engine = MIOEngine(collection, backend=backend)
+        fresh = (
+            fresh_engine.query(r) if k == 1 else fresh_engine.query_topk(r, k)
+        )
+        assert fresh.exact and cold_result.exact and warm_result.exact
+        assert _fingerprint(cold_result) == _fingerprint(fresh), f"cold r={r}"
+        assert _fingerprint(warm_result) == _fingerprint(fresh), f"warm r={r}"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(collection=collections(), rs=r_sequences())
+def test_query_many_matches_oracle(backend, collection, rs):
+    """Satellite 2: warm sessions agree with the nested-loop ground truth."""
+    session = QuerySession(collection, backend=backend)
+    for result in session.query_many(rs) + session.query_many(rs):
+        scores = oracle_scores(collection, result.r)
+        best = max(scores)
+        assert result.score == best
+        assert scores[result.winner] == best
+        assert result.exact
+
+
+@given(collection=collections(), rs=r_sequences())
+def test_paper_mode_equals_hand_threaded_caches(collection, rs):
+    """The session adds lifecycle, not semantics, in ``paper`` mode too.
+
+    ``label_reuse="paper"`` applies Labeling-3 across the whole ceiling
+    bucket and is *documented* to possibly under-count for ``r' != r``
+    (DESIGN.md §3); the under-count's exact shape depends on which points
+    verification happened to skip during the labeling run, which the
+    lower-bound seeding legitimately changes.  The oracle (and a cache-less
+    engine) are therefore not the right references.  The invariant is
+    instead: a session behaves exactly like the manual idiom it replaces --
+    the store and both caches hand-threaded through bare engine calls in
+    the session's own execution order.
+    """
+    from repro.core.labels import LabelStore
+    from repro.core.lower_bound import LowerBoundCache
+    from repro.grid.cache import LargeKeyCache
+
+    order = sorted(
+        range(len(rs)), key=lambda i: (math.ceil(rs[i]), -rs[i], i)
+    )
+    store = LabelStore()
+    key_cache = LargeKeyCache()
+    lower_cache = LowerBoundCache()
+    manual = [None] * len(rs)
+    for index in order:
+        engine = MIOEngine(
+            collection, label_store=store, label_reuse="paper",
+            key_cache=key_cache, lower_cache=lower_cache,
+        )
+        manual[index] = engine.query(rs[index])
+
+    session = QuerySession(collection, label_reuse="paper")
+    for manual_result, session_result in zip(manual, session.query_many(rs)):
+        assert _fingerprint(session_result) == _fingerprint(manual_result)
