@@ -23,9 +23,19 @@ DATASET = "bird-2"
 WORKLOAD = [4.9, 4.1, 4.3, 4.5, 4.7, 4.8]
 
 
+def _merge_phases(records):
+    """Workload-total per-phase seconds across a sweep's records."""
+    merged = {}
+    for record in records:
+        for phase, seconds in record.phases.items():
+            merged[phase] = merged.get(phase, 0.0) + seconds
+    return {phase: round(seconds, 6) for phase, seconds in sorted(merged.items())}
+
+
 def test_batch_reuse_speedup(datasets, report, benchmark):
     collection = datasets[DATASET]
     observed = []
+    phase_breakdowns = {}
 
     def run_cold():
         records = [
@@ -33,6 +43,7 @@ def test_batch_reuse_speedup(datasets, report, benchmark):
             for r in WORKLOAD
         ]
         observed.append([(record.winner, record.score) for record in records])
+        phase_breakdowns["cold"] = _merge_phases(records)
         return sum(record.seconds for record in records)
 
     session = QuerySession(collection)
@@ -47,6 +58,7 @@ def test_batch_reuse_speedup(datasets, report, benchmark):
             for r in WORKLOAD
         ]
         observed.append([(record.winner, record.score) for record in records])
+        phase_breakdowns["warm"] = _merge_phases(records)
         return sum(record.seconds for record in records)
 
     def collect():
@@ -70,6 +82,10 @@ def test_batch_reuse_speedup(datasets, report, benchmark):
         "cold_seconds": round(cold_seconds, 6),
         "warm_seconds": round(warm_seconds, 6),
         "speedup": round(speedup, 4),
+        # Workload-total per-phase seconds (last measured repeat), so the
+        # stored trajectory shows *which* phase the reuse removes.
+        "cold_phases": phase_breakdowns["cold"],
+        "warm_phases": phase_breakdowns["warm"],
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(RESULTS_DIR / "BENCH_batch_reuse.json", "w") as handle:

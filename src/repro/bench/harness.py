@@ -25,6 +25,7 @@ from repro.core.engine import MIOEngine
 from repro.core.labels import LabelStore
 from repro.core.objects import ObjectCollection
 from repro.core.query import MIOResult
+from repro.obs.trace import ensure_tracer
 from repro.session import QuerySession
 
 ALGORITHMS = (
@@ -51,6 +52,25 @@ class BenchRecord:
     def memory_kib(self) -> float:
         return self.memory_bytes / 1024.0
 
+    def to_record(self) -> Dict[str, object]:
+        """A JSON-friendly dict for ``BENCH_*.json`` files.
+
+        Carries the per-phase breakdown alongside the total, so stored
+        trajectory points can answer *where* a regression happened, not
+        just that one did.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "r": self.r,
+            "seconds": round(self.seconds, 6),
+            "winner": self.winner,
+            "score": self.score,
+            "memory_bytes": self.memory_bytes,
+            "phases": {name: round(seconds, 6) for name, seconds in self.phases.items()},
+            "counters": dict(self.counters),
+        }
+
 
 def run_algorithm(
     name: str,
@@ -61,6 +81,7 @@ def run_algorithm(
     label_store: Optional[LabelStore] = None,
     backend: str = "ewah",
     session: Optional[QuerySession] = None,
+    tracer=None,
 ) -> BenchRecord:
     """Run one algorithm once and record everything the figures need.
 
@@ -74,8 +95,20 @@ def run_algorithm(
     across calls -- labels, large-grid keys, and exact-``r`` lower-bound
     state stay warm between runs, which is what the batch-reuse benchmark
     measures.
+
+    With a ``tracer``, the run is wrapped in an ``algorithm`` span and the
+    result's phase breakdown is attached as child spans — baselines have
+    no internal instrumentation, so their trace is reconstructed from the
+    phases they report.
     """
-    result = _dispatch(name, collection, r, k, label_store, backend, session)
+    tracer = ensure_tracer(tracer)
+    with tracer.span("algorithm", algorithm=name, dataset=dataset, r=r) as span:
+        result = _dispatch(name, collection, r, k, label_store, backend, session)
+        if tracer.enabled:
+            for phase, seconds in result.phases.items():
+                tracer.record(phase, seconds)
+            span.set_duration(result.total_time)
+            span.set_attributes(winner=result.winner, score=result.score)
     return BenchRecord(
         algorithm=name,
         dataset=dataset,

@@ -8,6 +8,14 @@ Commands
 ``query``      run an MIO / top-k / temporal query over a dataset file
 ``compare``    run all algorithms on one query and print a comparison
 ``batch``      run a JSON workload through one QuerySession (label reuse)
+``explain``    trace one query: span tree plus the pruning funnel
+
+Observability flags: ``query --trace`` prints the span tree under the
+answer, ``query``/``batch --metrics-out PATH`` dump the metrics registry
+(Prometheus text format, or JSON when the path ends in ``.json``),
+``batch --trace-out PATH`` writes the batch's span trees as JSON, and
+``batch --log-json PATH`` streams one structured log line per request
+with ``batch_id``/``query_id`` correlation ids.
 
 Example session::
 
@@ -38,6 +46,11 @@ from repro.bench.harness import run_algorithm
 from repro.bench.reporting import format_table
 from repro.core.engine import MIOEngine
 from repro.core.temporal import TemporalMIOEngine
+from repro.obs import logging as obs_logging
+from repro.obs.explain import funnel_stages, render_funnel, render_span_tree
+from repro.obs.export import metrics_json, prometheus_text, trace_json
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Tracer
 from repro.datasets import (
     DATASET_NAMES,
     describe,
@@ -83,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-partition-task retry budget (parallel engine)")
     query.add_argument("--cores", type=int, default=1,
                        help="simulated cores; >1 uses the parallel engine")
+    query.add_argument("--trace", action="store_true",
+                       help="print the query's span tree under the answer")
+    query.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics registry after the query "
+                            "(Prometheus text, or JSON if PATH ends in .json)")
 
     compare = commands.add_parser("compare", help="run all algorithms on one query")
     compare.add_argument("path", help=".npz dataset file")
@@ -104,8 +122,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated cores; >1 fans with-label queries out")
     batch.add_argument("--retries", type=int, default=2,
                        help="per-partition-task retry budget (parallel engine)")
+    batch.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the batch's span trees as JSON")
+    batch.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics registry after the batch "
+                            "(Prometheus text, or JSON if PATH ends in .json)")
+    batch.add_argument("--log-json", default=None, metavar="PATH",
+                       help="stream one structured JSON log line per request "
+                            "(batch_id/query_id correlation ids)")
+
+    explain = commands.add_parser(
+        "explain", help="trace one query: span tree plus the pruning funnel"
+    )
+    explain.add_argument("path", help=".npz dataset file")
+    explain.add_argument("-r", type=float, required=True, help="distance threshold")
+    explain.add_argument("--topk", type=int, default=1, help="return the k best objects")
+    explain.add_argument("--backend", default="ewah",
+                         choices=("ewah", "plain", "roaring"))
+    explain.add_argument("--cores", type=int, default=1,
+                         help="simulated cores; >1 uses the parallel engine")
 
     return parser
+
+
+def _write_metrics(path: str) -> None:
+    """Dump the process registry: Prometheus text, or JSON for ``*.json``."""
+    text = metrics_json() if path.endswith(".json") else prometheus_text()
+    Path(path).write_text(text)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -128,6 +171,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     collection = load_collection(args.path)
     if args.sample < 1.0:
         collection = sample_collection(collection, args.sample)
+    tracer = Tracer() if args.trace else None
     if args.delta is not None:
         if args.topk != 1:
             print("error: --topk is not supported together with --delta", file=sys.stderr)
@@ -136,14 +180,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print("warning: --timeout-ms is ignored for temporal queries",
                   file=sys.stderr)
         result = TemporalMIOEngine(collection).query(args.r, args.delta)
+        if tracer is not None:
+            # The temporal engine is untraced internally; reconstruct its
+            # span tree from the reported phase breakdown.
+            with tracer.span("query", engine="temporal", r=args.r,
+                             delta=args.delta) as root:
+                for phase, seconds in result.phases.items():
+                    tracer.record(phase, seconds)
+                root.set_attributes(winner=result.winner, score=result.score)
+            root.set_duration(result.total_time)
     else:
         if args.cores != 1:
             engine = ParallelMIOEngine(
                 collection, cores=args.cores, backend=args.backend,
-                retries=args.retries,
+                retries=args.retries, tracer=tracer,
             )
         else:
-            engine = MIOEngine(collection, backend=args.backend)
+            engine = MIOEngine(collection, backend=args.backend, tracer=tracer)
         if args.topk > 1:
             result = engine.query_topk(args.r, args.topk, timeout_ms=args.timeout_ms)
         else:
@@ -161,6 +214,39 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"time      : {result.total_time:.4f} s")
     for phase, seconds in result.phases.items():
         print(f"  {phase:<16} {seconds:.4f} s")
+    if tracer is not None and tracer.root is not None:
+        print("\ntrace:")
+        print(render_span_tree(tracer.root, indent="  "))
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
+        print(f"\nwrote metrics to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    collection = load_collection(args.path)
+    tracer = Tracer()
+    if args.cores != 1:
+        engine = ParallelMIOEngine(
+            collection, cores=args.cores, backend=args.backend, tracer=tracer
+        )
+    else:
+        engine = MIOEngine(collection, backend=args.backend, tracer=tracer)
+    if args.topk > 1:
+        result = engine.query_topk(args.r, args.topk)
+    else:
+        result = engine.query(args.r)
+    print(f"{result.algorithm} over {args.path} at r={args.r}")
+    print(f"winner    : o_{result.winner} (tau = {result.score} "
+          f"of {collection.n - 1} objects)")
+    if result.topk:
+        for rank, (oid, score) in enumerate(result.topk, start=1):
+            print(f"  #{rank}: o_{oid} (tau = {score})")
+    print(f"time      : {result.total_time:.4f} s")
+    print("\nspan tree:")
+    print(render_span_tree(tracer.root, indent="  "))
+    print("\npruning funnel:")
+    print(render_funnel(funnel_stages(result, collection.n)))
     return 0
 
 
@@ -215,15 +301,31 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     dataset_path, workload_backend, queries = _load_workload(args.workload)
     backend = args.backend or workload_backend or "ewah"
     collection = load_collection(dataset_path)
+    tracer = Tracer() if args.trace_out else None
     session = QuerySession(
-        collection, backend=backend, cores=args.cores, retries=args.retries
+        collection, backend=backend, cores=args.cores, retries=args.retries,
+        tracer=tracer,
     )
-    results = session.query_many(queries)
+    log_stream = None
+    try:
+        if args.log_json:
+            log_stream = open(args.log_json, "w")
+            obs_logging.configure(log_stream)
+        results = session.query_many(queries)
+    finally:
+        if log_stream is not None:
+            obs_logging.configure(None)
+            log_stream.close()
+    if tracer is not None:
+        Path(args.trace_out).write_text(trace_json(tracer.roots))
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
     if args.stats:
         payload = {
             "workload": args.workload,
             "dataset": dataset_path,
             "backend": backend,
+            "metrics": get_registry().snapshot(prefix="repro_cache_"),
             "results": [
                 {
                     "r": result.r,
@@ -276,6 +378,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "compare": _cmd_compare,
     "batch": _cmd_batch,
+    "explain": _cmd_explain,
 }
 
 

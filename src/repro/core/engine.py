@@ -32,6 +32,9 @@ from repro.core.verification import VerificationResult, verify_candidates
 from repro.errors import InvalidQueryError
 from repro.grid.bigrid import BIGrid
 from repro.grid.cache import LargeKeyCache
+from repro.obs import metrics as obs_metrics
+from repro.obs.recorders import observe_query
+from repro.obs.trace import ensure_tracer, phase_durations
 from repro.resilience import Deadline, checkpoint
 
 
@@ -62,6 +65,13 @@ class MIOEngine:
         engine always keeps the lower-bound union bitsets and seeds
         verification with them (sound: union members certainly interact),
         so cached entries serve label-free and with-label queries alike.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When attached, every
+        query records a span tree (one ``query`` span with one child per
+        phase) and ``MIOResult.phases`` is derived from those spans, so
+        the rendered trace and the reported times can never disagree.
+        Without one, the engine runs shared no-op spans (one branch per
+        instrumentation point) and times phases exactly as before.
 
     Both caches are positional (keyed by object ids); whoever injects them
     owns invalidation on collection change -- the engine itself never mixes
@@ -76,6 +86,7 @@ class MIOEngine:
         label_reuse: str = "safe",
         key_cache: Optional[LargeKeyCache] = None,
         lower_cache: Optional[LowerBoundCache] = None,
+        tracer=None,
     ) -> None:
         if label_reuse not in ("safe", "paper"):
             raise InvalidQueryError('label_reuse must be "safe" or "paper"')
@@ -85,6 +96,7 @@ class MIOEngine:
         self.label_reuse = label_reuse
         self.key_cache = key_cache
         self.lower_cache = lower_cache
+        self.tracer = tracer
         #: The BIGrid of the most recent query (exposed for inspection).
         self.last_bigrid: Optional[BIGrid] = None
 
@@ -97,6 +109,7 @@ class MIOEngine:
         r: float,
         timeout_ms: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        tracer=None,
     ) -> MIOResult:
         """Answer an MIO query: the most interactive object under ``r``.
 
@@ -106,7 +119,8 @@ class MIOEngine:
         (``exact=False``) carrying a verified lower-bound answer.
         """
         return self._run(
-            r, k=1, want_ranking=False, deadline=_deadline(timeout_ms, deadline)
+            r, k=1, want_ranking=False, deadline=_deadline(timeout_ms, deadline),
+            tracer=tracer,
         )
 
     def query_topk(
@@ -115,12 +129,14 @@ class MIOEngine:
         k: int,
         timeout_ms: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        tracer=None,
     ) -> MIOResult:
         """Answer the top-k variant: the k most interactive objects."""
         if k < 1:
             raise InvalidQueryError("k must be at least 1")
         return self._run(
-            r, k=k, want_ranking=True, deadline=_deadline(timeout_ms, deadline)
+            r, k=k, want_ranking=True, deadline=_deadline(timeout_ms, deadline),
+            tracer=tracer,
         )
 
     def query_batch(self, r_values) -> List[MIOResult]:
@@ -163,9 +179,33 @@ class MIOEngine:
         k: int,
         want_ranking: bool,
         deadline: Optional[Deadline] = None,
+        tracer=None,
     ) -> MIOResult:
         if r <= 0:
             raise InvalidQueryError("the distance threshold r must be positive")
+        tracer = ensure_tracer(tracer if tracer is not None else self.tracer)
+        with tracer.span(
+            "query", engine="serial", r=r, k=k, backend=self.backend
+        ) as root:
+            result = self._run_phases(r, k, want_ranking, deadline, tracer)
+            root.set_attributes(
+                winner=result.winner, score=result.score, exact=result.exact
+            )
+        if tracer.enabled:
+            # The trace is the source of truth: the reported per-phase
+            # times ARE the span durations, so tree and result agree.
+            result.phases = phase_durations(root)
+        observe_query(result, engine="serial")
+        return result
+
+    def _run_phases(
+        self,
+        r: float,
+        k: int,
+        want_ranking: bool,
+        deadline: Optional[Deadline],
+        tracer,
+    ) -> MIOResult:
         stats = PhaseStats()
         ceil_r = math.ceil(r)
         notes: Dict[str, str] = {}
@@ -176,94 +216,125 @@ class MIOEngine:
         if resolved_backend != self.backend:
             notes["degraded_backend"] = f"{self.backend}->{resolved_backend}"
             stats.set_count("degraded_backend", 1)
+            obs_metrics.counter(
+                "repro_backend_degradations_total",
+                "Bitset backend downgrades (requested backend unavailable)",
+            ).inc(requested=self.backend, resolved=resolved_backend)
 
-        labels = self._load_labels(ceil_r, stats)
+        if self.label_store is not None:
+            with tracer.span("label_input") as span:
+                labels = self._load_labels(ceil_r, stats)
+                if labels is None:
+                    # A missed lookup reads no labels: keep it visible in
+                    # the trace, but not as a phase (``phase_durations``
+                    # must mirror the untraced PhaseStats semantics).
+                    span.rename("label_lookup")
+                span.set_attributes(cache_hit=labels is not None)
+        else:
+            labels = None
         labeling = self.label_store is not None and labels is None
         labeler = PointLabels.for_collection(self.collection, r) if labeling else None
 
         # GRID-MAPPING (Algorithm 3), skipping label(p) = 0** points.
         faults.trip("grid_mapping")
         checkpoint(deadline, "grid_mapping")
-        started = time.perf_counter()
-        bigrid = BIGrid.build(
-            self.collection,
-            r,
-            backend=resolved_backend,
-            point_filter=labels.grid_mask if labels is not None else None,
-            deadline=deadline,
-            large_keys_provider=(
-                self.key_cache.provider(self.collection, ceil_r)
-                if self.key_cache is not None
-                else None
-            ),
-        )
-        stats.add_time("grid_mapping", time.perf_counter() - started)
-        stats.set_count("small_cells", len(bigrid.small_grid))
-        stats.set_count("large_cells", len(bigrid.large_grid))
-        stats.set_count("mapped_points", bigrid.mapped_points)
+        with tracer.span("grid_mapping") as span:
+            started = time.perf_counter()
+            bigrid = BIGrid.build(
+                self.collection,
+                r,
+                backend=resolved_backend,
+                point_filter=labels.grid_mask if labels is not None else None,
+                deadline=deadline,
+                large_keys_provider=(
+                    self.key_cache.provider(self.collection, ceil_r)
+                    if self.key_cache is not None
+                    else None
+                ),
+            )
+            stats.add_time("grid_mapping", time.perf_counter() - started)
+            stats.set_count("small_cells", len(bigrid.small_grid))
+            stats.set_count("large_cells", len(bigrid.large_grid))
+            stats.set_count("mapped_points", bigrid.mapped_points)
+            span.set_attributes(
+                small_cells=len(bigrid.small_grid),
+                large_cells=len(bigrid.large_grid),
+                mapped_points=bigrid.mapped_points,
+            )
         self.last_bigrid = bigrid
 
         # LOWER-BOUNDING (Algorithm 4).  The WITH-LABEL variant keeps the
         # union bitsets to seed verification.
         faults.trip("lower_bounding")
         checkpoint(deadline, "lower_bounding")
-        started = time.perf_counter()
-        lower = (
-            self.lower_cache.get(r, bigrid.small_grid.bitset_cls)
-            if self.lower_cache is not None
-            else None
-        )
-        if lower is not None:
-            stats.set_count("lower_cache_hit", 1)
-            stats.set_count("tau_max_low", lower.tau_max)
-        else:
-            lower = compute_lower_bounds(
-                bigrid,
-                keep_bitsets=labels is not None or self.lower_cache is not None,
-                stats=stats,
-                deadline=deadline,
+        with tracer.span("lower_bounding") as span:
+            started = time.perf_counter()
+            lower = (
+                self.lower_cache.get(r, bigrid.small_grid.bitset_cls)
+                if self.lower_cache is not None
+                else None
             )
-            if self.lower_cache is not None:
-                self.lower_cache.put(r, lower)
-        stats.add_time("lower_bounding", time.perf_counter() - started)
+            if lower is not None:
+                stats.set_count("lower_cache_hit", 1)
+                stats.set_count("tau_max_low", lower.tau_max)
+                span.set_attribute("cache_hit", True)
+            else:
+                lower = compute_lower_bounds(
+                    bigrid,
+                    keep_bitsets=labels is not None or self.lower_cache is not None,
+                    stats=stats,
+                    deadline=deadline,
+                )
+                if self.lower_cache is not None:
+                    self.lower_cache.put(r, lower)
+            stats.add_time("lower_bounding", time.perf_counter() - started)
+            span.set_attribute("tau_max_low", lower.tau_max)
         threshold = lower.tau_max if k == 1 else _kth_largest(lower.values, k)
 
         # UPPER-BOUNDING + pruning (Algorithm 5).
         faults.trip("upper_bounding")
         checkpoint(deadline, "upper_bounding")
-        started = time.perf_counter()
-        upper = compute_upper_bounds(
-            bigrid,
-            threshold,
-            upper_masks=labels.upper_mask if labels is not None else None,
-            labeler=labeler,
-            stats=stats,
-            deadline=deadline,
-        )
-        stats.add_time("upper_bounding", time.perf_counter() - started)
+        with tracer.span("upper_bounding") as span:
+            started = time.perf_counter()
+            upper = compute_upper_bounds(
+                bigrid,
+                threshold,
+                upper_masks=labels.upper_mask if labels is not None else None,
+                labeler=labeler,
+                stats=stats,
+                deadline=deadline,
+            )
+            stats.add_time("upper_bounding", time.perf_counter() - started)
+            span.set_attribute("candidates", len(upper.candidates))
 
         # VERIFICATION (Algorithm 6 / top-k variant).  From here on an
         # expired deadline degrades to an anytime answer instead of raising:
         # every settled candidate's score is exact, so the best one is a
         # correct lower bound on the optimum (Corollary 1).
         faults.trip("verification")
-        started = time.perf_counter()
-        verification = verify_candidates(
-            bigrid,
-            upper.candidates,
-            r,
-            k=k,
-            initial_bitsets=(
-                (lambda oid: lower.bitsets[oid]) if lower.bitsets is not None else None
-            ),
-            verify_masks=self._verify_masks(labels, r),
-            labeler=labeler,
-            stats=stats,
-            deadline=deadline,
-        )
-        stats.add_time("verification", time.perf_counter() - started)
-        stats.set_count("candidates_total", len(upper.candidates))
-        stats.set_count("candidates_settled", verification.verified)
+        with tracer.span("verification") as span:
+            started = time.perf_counter()
+            verification = verify_candidates(
+                bigrid,
+                upper.candidates,
+                r,
+                k=k,
+                initial_bitsets=(
+                    (lambda oid: lower.bitsets[oid]) if lower.bitsets is not None else None
+                ),
+                verify_masks=self._verify_masks(labels, r),
+                labeler=labeler,
+                stats=stats,
+                deadline=deadline,
+            )
+            stats.add_time("verification", time.perf_counter() - started)
+            stats.set_count("candidates_total", len(upper.candidates))
+            stats.set_count("candidates_settled", verification.verified)
+            span.set_attributes(
+                candidates=len(upper.candidates),
+                settled=verification.verified,
+                timed_out=verification.timed_out,
+            )
 
         if verification.timed_out:
             # A partial labeling pass must not be persisted: its marks are
@@ -274,9 +345,10 @@ class MIOEngine:
             )
 
         if labeler is not None:
-            started = time.perf_counter()
-            self.label_store.put(ceil_r, labeler)
-            stats.add_time("label_output", time.perf_counter() - started)
+            with tracer.span("label_output"):
+                started = time.perf_counter()
+                self.label_store.put(ceil_r, labeler)
+                stats.add_time("label_output", time.perf_counter() - started)
             for kind, count in labeler.count_cleared().items():
                 stats.set_count(f"labeled_{kind}", count)
 

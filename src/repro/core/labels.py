@@ -35,6 +35,7 @@ import numpy as np
 from repro.errors import CorruptDataError
 
 from repro.core.objects import ObjectCollection
+from repro.obs.recorders import observe_cache, observe_cache_invalidation
 
 #: Bit masks within a label byte.
 GRID_BIT = 0b100
@@ -158,13 +159,16 @@ class LabelStore:
         cached = self._cache.get(ceil_r)
         if cached is not None:
             self.hits += 1
+            observe_cache("labels", hit=True)
             return cached
         if self.directory is None:
             self.misses += 1
+            observe_cache("labels", hit=False)
             return None
         path = self._path(ceil_r)
         if not path.exists():
             self.misses += 1
+            observe_cache("labels", hit=False)
             return None
         try:
             with np.load(path) as archive:
@@ -176,6 +180,7 @@ class LabelStore:
             raise CorruptDataError(f"{path}: not a valid label archive ({exc})") from exc
         self._cache[ceil_r] = labels
         self.hits += 1
+        observe_cache("labels", hit=True)
         return labels
 
     def ceilings(self) -> list:
@@ -206,6 +211,7 @@ class LabelStore:
 
     def clear(self) -> None:
         """Drop all stored labels (memory and disk)."""
+        observe_cache_invalidation("labels")
         self._cache.clear()
         if self.directory is not None:
             for path in self.directory.glob("labels_ceil_*.npz"):

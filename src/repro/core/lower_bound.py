@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Type
 from repro.bitset.base import Bitset
 from repro.core.query import PhaseStats
 from repro.grid.bigrid import BIGrid
+from repro.obs.recorders import observe_cache, observe_cache_invalidation
 from repro.resilience import Deadline, checkpoint
 
 
@@ -66,8 +67,10 @@ class LowerBoundCache:
         entry = self._entries.get(r)
         if entry is None:
             self.misses += 1
+            observe_cache("lower_bounds", hit=False)
             return None
         self.hits += 1
+        observe_cache("lower_bounds", hit=True)
         self._entries.move_to_end(r)
         values, tau_max, bitset_ints = entry
         return LowerBoundResult(
@@ -96,6 +99,7 @@ class LowerBoundCache:
         return len(self._entries)
 
     def clear(self) -> None:
+        observe_cache_invalidation("lower_bounds")
         self._entries.clear()
 
     def counters(self) -> Dict[str, int]:

@@ -30,6 +30,7 @@ from repro.core.engine import MIOEngine
 from repro.core.labels import LabelStore
 from repro.core.objects import ObjectCollection
 from repro.core.query import MIOResult
+from repro.obs import metrics as obs_metrics
 
 
 class DynamicMIO:
@@ -73,6 +74,9 @@ class DynamicMIO:
             if timestamps is not None
             else None
         )
+        obs_metrics.counter(
+            "repro_mutations_total", "DynamicMIO collection mutations"
+        ).inc(op="add")
         self._invalidate()
         return handle
 
@@ -80,6 +84,9 @@ class DynamicMIO:
         """Remove an object by handle; raises ``KeyError`` if absent."""
         del self._points[handle]
         del self._timestamps[handle]
+        obs_metrics.counter(
+            "repro_mutations_total", "DynamicMIO collection mutations"
+        ).inc(op="remove")
         self._invalidate()
 
     def _invalidate(self) -> None:

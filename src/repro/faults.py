@@ -92,6 +92,11 @@ class FaultInjector:
                 continue
             self._triggered[index] += 1
             self.fired[point] = self.fired.get(point, 0) + 1
+            from repro.obs import metrics as obs_metrics
+
+            obs_metrics.counter(
+                "repro_faults_injected_total", "Injected faults that actually fired"
+            ).inc(point=point, kind=spec.kind)
             if spec.kind == "latency":
                 time.sleep(spec.latency)
             else:

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.objects import ObjectCollection
 from repro.grid.keys import Key, compute_keys, large_cell_width
+from repro.obs.recorders import cache_request_counter, observe_cache_invalidation
 
 #: ``provider(oid, selected_indices) -> keys`` for the selected points.
 LargeKeysProvider = Callable[[int, np.ndarray], List[Key]]
@@ -54,15 +55,21 @@ class LargeKeyCache:
         bucket uses.
         """
         width = large_cell_width(float(ceil_r))
+        # Bound registry counters: the per-object hot path below pays one
+        # dict-slot float add per lookup, not a metric-name resolution.
+        hit_metric = cache_request_counter("grid_keys", hit=True)
+        miss_metric = cache_request_counter("grid_keys", hit=False)
 
         def provide(oid: int, indices: np.ndarray) -> List[Key]:
             entry = self._keys.get((ceil_r, oid))
             if entry is None:
                 self.misses += 1
+                miss_metric.inc()
                 entry = compute_keys(collection[oid].points, width)
                 self._keys[(ceil_r, oid)] = entry
             else:
                 self.hits += 1
+                hit_metric.inc()
             if len(indices) == len(entry):
                 return entry
             return [entry[i] for i in indices]
@@ -74,6 +81,7 @@ class LargeKeyCache:
 
     def clear(self) -> None:
         """Drop all cached keys (required on any collection mutation)."""
+        observe_cache_invalidation("grid_keys")
         self._keys.clear()
 
     def counters(self) -> Dict[str, int]:

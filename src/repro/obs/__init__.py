@@ -1,0 +1,70 @@
+"""Observability: query tracing, metrics registry, exporters, logging.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` -- a hierarchical span tracer the engines, the
+  session, and the bench harness thread through query execution; the
+  per-phase decomposition of Table II is read directly off the trace.
+* :mod:`repro.obs.metrics` -- a process-wide registry of counters,
+  gauges, and fixed-log-bucket histograms, fed by the engines, the three
+  cross-query cache tiers, the resilience/fault layers, and
+  :class:`~repro.dynamic.DynamicMIO`.
+* :mod:`repro.obs.export` -- Prometheus text-format and JSON exporters
+  (plus a grammar validator used by CI), and JSON trace export.
+
+All of it is opt-in: without a tracer the engines run no-op spans, and
+the registry only costs an increment at each event site.
+"""
+
+from repro.obs.export import (
+    metrics_json,
+    prometheus_text,
+    trace_json,
+    validate_prometheus_text,
+)
+from repro.obs.explain import funnel_stages, render_funnel, render_span_tree
+from repro.obs.logging import JsonLogger, configure, get_logger, new_id
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    ensure_tracer,
+    phase_durations,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "configure",
+    "ensure_tracer",
+    "funnel_stages",
+    "get_logger",
+    "get_registry",
+    "metrics_json",
+    "new_id",
+    "phase_durations",
+    "prometheus_text",
+    "render_funnel",
+    "render_span_tree",
+    "set_registry",
+    "trace_json",
+    "validate_prometheus_text",
+]

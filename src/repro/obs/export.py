@@ -1,0 +1,165 @@
+"""Exporters: Prometheus text format, JSON metrics, JSON traces.
+
+:func:`prometheus_text` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+in the Prometheus text exposition format (version 0.0.4): ``# HELP`` /
+``# TYPE`` headers, escaped label values, histograms as cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``.
+:func:`validate_prometheus_text` is a standalone grammar checker the CI
+smoke job (and the exporter tests) run against real output, so a format
+regression fails loudly instead of silently breaking a scrape.
+
+:func:`metrics_json` and :func:`trace_json` are the machine-readable
+counterparts the CLI writes for ``--metrics-out foo.json`` and
+``--trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+from repro.obs.trace import Span
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+# One label: name="value" with \\, \" and \n escapes allowed in the value.
+_LABEL = rf'{_LABEL_NAME}="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})(\{{{_LABEL}(?:,{_LABEL})*\}})? "
+    r"(?:[-+]?(?:\d+(?:\.\d+)?(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?)|[-+]?Inf|NaN)$"
+)
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) .*$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs: Sequence) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format (one scrape body)."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for metric in registry.collect():
+        help_text = metric.help or metric.name
+        lines.append(f"# HELP {metric.name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key in metric.label_sets():
+                base = list(key)
+                series = metric._series[key]
+                running = 0
+                for bound, bucket_count in zip(metric.buckets, series.bucket_counts):
+                    running += bucket_count
+                    label_text = _format_labels(base + [("le", _format_value(bound))])
+                    lines.append(f"{metric.name}_bucket{label_text} {running}")
+                label_text = _format_labels(base + [("le", "+Inf")])
+                lines.append(f"{metric.name}_bucket{label_text} {series.count}")
+                lines.append(f"{metric.name}_sum{_format_labels(base)} {_format_value(series.total)}")
+                lines.append(f"{metric.name}_count{_format_labels(base)} {series.count}")
+        else:
+            for key in metric.label_sets():
+                value = metric._series[key]
+                lines.append(f"{metric.name}{_format_labels(key)} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def validate_prometheus_text(text: str) -> None:
+    """Check ``text`` against the Prometheus text-format grammar.
+
+    Raises ``ValueError`` naming the first offending line.  Checks:
+    comment lines are well-formed ``HELP``/``TYPE`` headers, at most one
+    of each per metric, sample lines parse (name, optional label set,
+    float value), samples follow their ``TYPE``, and every histogram
+    label set ends with a ``+Inf`` bucket and matching ``_sum``/``_count``.
+    """
+    helped: set = set()
+    typed: Dict[str, str] = {}
+    histogram_buckets: Dict[str, List[str]] = {}
+    histogram_counts: Dict[str, int] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_RE.match(line)
+            type_match = _TYPE_RE.match(line)
+            if help_match:
+                name = help_match.group(1)
+                if name in helped:
+                    raise ValueError(f"line {number}: duplicate HELP for {name}")
+                helped.add(name)
+            elif type_match:
+                name = type_match.group(1)
+                if name in typed:
+                    raise ValueError(f"line {number}: duplicate TYPE for {name}")
+                typed[name] = type_match.group(2)
+            else:
+                raise ValueError(f"line {number}: malformed comment: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {number}: malformed sample: {line!r}")
+        sample_name = match.group(1)
+        base = _base_metric_name(sample_name, typed)
+        if base is None:
+            raise ValueError(f"line {number}: sample {sample_name!r} has no TYPE header")
+        if typed[base] == "histogram":
+            if sample_name == f"{base}_bucket":
+                labels = match.group(2) or ""
+                if 'le="' not in labels:
+                    raise ValueError(f"line {number}: histogram bucket without le label")
+                histogram_buckets.setdefault(base, []).append(labels)
+            elif sample_name in (f"{base}_sum", f"{base}_count"):
+                histogram_counts[base] = histogram_counts.get(base, 0) + 1
+            else:
+                raise ValueError(
+                    f"line {number}: {sample_name!r} is not a valid histogram sample"
+                )
+    for name, buckets in histogram_buckets.items():
+        if not any('le="+Inf"' in labels for labels in buckets):
+            raise ValueError(f"histogram {name} has no +Inf bucket")
+        if histogram_counts.get(name, 0) < 2:
+            raise ValueError(f"histogram {name} is missing _sum/_count samples")
+
+
+def _base_metric_name(sample_name: str, typed: Dict[str, str]) -> Optional[str]:
+    if sample_name in typed:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            candidate = sample_name[: -len(suffix)]
+            if typed.get(candidate) == "histogram":
+                return candidate
+    return None
+
+
+def metrics_json(registry: Optional[MetricsRegistry] = None, prefix: str = "") -> str:
+    """The registry as an indented JSON document."""
+    registry = registry if registry is not None else get_registry()
+    return json.dumps(registry.snapshot(prefix=prefix), indent=2, sort_keys=True) + "\n"
+
+
+def trace_json(roots: Sequence[Span]) -> str:
+    """One or more span trees as an indented JSON document."""
+    return json.dumps([root.to_dict() for root in roots], indent=2) + "\n"

@@ -1,0 +1,71 @@
+"""Structured JSON logging with query/batch correlation ids.
+
+One log record per line, each a JSON object with a ``ts`` (unix seconds),
+an ``event`` name, and free-form fields.  The session attaches
+correlation ids -- a ``batch_id`` shared by every request of one
+``query_many`` call and a per-request ``query_id`` -- so a log pipeline
+can join per-request records back to their batch, and both ids also
+appear as span attributes in the trace for cross-referencing.
+
+Logging is disabled by default (:data:`NULL_LOGGER`): the enabled check
+is one attribute read, so instrumented code logs unconditionally via
+``get_logger().log(...)`` guarded by ``logger.enabled`` where the field
+construction itself would cost anything.
+
+Correlation ids come from a process-wide monotonic counter rather than
+UUIDs: deterministic under test, unique within a process, and trivially
+sortable by creation order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from typing import IO, Optional
+
+_ids = itertools.count(1)
+
+
+def new_id(prefix: str) -> str:
+    """A process-unique correlation id, e.g. ``batch-00000003``."""
+    return f"{prefix}-{next(_ids):08d}"
+
+
+class JsonLogger:
+    """Writes one JSON object per line to a stream."""
+
+    enabled = True
+
+    def __init__(self, stream: IO[str], clock=time.time) -> None:
+        self.stream = stream
+        self.clock = clock
+
+    def log(self, event: str, **fields: object) -> None:
+        record = {"ts": round(self.clock(), 6), "event": event}
+        record.update(fields)
+        self.stream.write(json.dumps(record, default=str) + "\n")
+
+
+class NullLogger:
+    """The disabled logger."""
+
+    enabled = False
+
+    def log(self, event: str, **fields: object) -> None:
+        pass
+
+
+NULL_LOGGER = NullLogger()
+_active = NULL_LOGGER
+
+
+def get_logger():
+    """The process logger (the null logger unless configured)."""
+    return _active
+
+
+def configure(stream: Optional[IO[str]]) -> None:
+    """Install a JSON logger on ``stream`` (or disable with ``None``)."""
+    global _active
+    _active = JsonLogger(stream) if stream is not None else NULL_LOGGER

@@ -53,6 +53,9 @@ from repro.grid.cache import LargeKeyCache
 from repro.grid.keys import compute_keys, large_cell_width, small_cell_width
 from repro.grid.large_grid import LargeGrid
 from repro.grid.small_grid import SmallGrid
+from repro.obs import metrics as obs_metrics
+from repro.obs.recorders import observe_query
+from repro.obs.trace import ensure_tracer
 from repro.parallel.executor import CoreReport, SimulatedExecutor, gc_paused
 from repro.parallel.partitioning import hash_partition, static_block_partition
 from repro.resilience import Deadline, checkpoint
@@ -89,6 +92,7 @@ class ParallelMIOEngine:
         retries: int = 2,
         serial_fallback: bool = True,
         key_cache: Optional[LargeKeyCache] = None,
+        tracer=None,
     ) -> None:
         if lb_strategy not in LB_STRATEGIES:
             raise InvalidQueryError(f"lb_strategy must be one of {LB_STRATEGIES}")
@@ -114,6 +118,10 @@ class ParallelMIOEngine:
         #: grid mapping is reused across same-ceiling queries, exactly as in
         #: the serial engine.  The serial fallback engine shares it too.
         self.key_cache = key_cache
+        #: Optional tracer: each query records phase spans whose durations
+        #: are the simulated makespans (matching ``phases``), with one
+        #: child span per simulated core carrying that core's load.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Public API
@@ -124,11 +132,12 @@ class ParallelMIOEngine:
         r: float,
         timeout_ms: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        tracer=None,
     ) -> MIOResult:
         """The MIO answer plus simulated per-phase parallel times."""
         if deadline is None:
             deadline = Deadline.from_timeout_ms(timeout_ms)
-        return self._run(r, k=1, want_ranking=False, deadline=deadline)
+        return self._run(r, k=1, want_ranking=False, deadline=deadline, tracer=tracer)
 
     def query_topk(
         self,
@@ -136,13 +145,14 @@ class ParallelMIOEngine:
         k: int,
         timeout_ms: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        tracer=None,
     ) -> MIOResult:
         """The top-k variant under parallel processing."""
         if k < 1:
             raise InvalidQueryError("k must be at least 1")
         if deadline is None:
             deadline = Deadline.from_timeout_ms(timeout_ms)
-        return self._run(r, k=k, want_ranking=True, deadline=deadline)
+        return self._run(r, k=k, want_ranking=True, deadline=deadline, tracer=tracer)
 
     def _run(
         self,
@@ -150,18 +160,34 @@ class ParallelMIOEngine:
         k: int,
         want_ranking: bool,
         deadline: Optional[Deadline] = None,
+        tracer=None,
     ) -> MIOResult:
         if r <= 0:
             raise InvalidQueryError("the distance threshold r must be positive")
-        try:
-            return self._run_parallel(r, k, want_ranking, deadline)
-        except (PartitionTaskError, InjectedFault) as cause:
-            # A partition task died past its retry budget (or a fault fired
-            # in an unretried inline loop).  The answer is still computable:
-            # degrade to the serial engine rather than crash the query.
-            if not self.serial_fallback:
-                raise
-            return self._serial_fallback(r, k, want_ranking, deadline, cause)
+        tracer = ensure_tracer(tracer if tracer is not None else self.tracer)
+        with tracer.span(
+            "query", engine="parallel", cores=self.cores, r=r, k=k, backend=self.backend
+        ) as root:
+            try:
+                result = self._run_parallel(r, k, want_ranking, deadline, tracer)
+            except (PartitionTaskError, InjectedFault) as cause:
+                # A partition task died past its retry budget (or a fault
+                # fired in an unretried inline loop).  The answer is still
+                # computable: degrade to the serial engine rather than
+                # crash the query.
+                if not self.serial_fallback:
+                    raise
+                obs_metrics.counter(
+                    "repro_serial_fallbacks_total",
+                    "Parallel queries that degraded to the serial engine",
+                ).inc()
+                root.set_attributes(serial_fallback=True)
+                result = self._serial_fallback(r, k, want_ranking, deadline, cause, tracer)
+            root.set_attributes(winner=result.winner, score=result.score, exact=result.exact)
+            # Phase spans carry simulated makespans; override the root's
+            # wall-clock too so the tree sums like ``result.total_time``.
+            root.set_duration(result.total_time)
+        return result
 
     def _serial_fallback(
         self,
@@ -170,6 +196,7 @@ class ParallelMIOEngine:
         want_ranking: bool,
         deadline: Optional[Deadline],
         cause: Exception,
+        tracer=None,
     ) -> MIOResult:
         engine = MIOEngine(
             self.collection,
@@ -178,12 +205,34 @@ class ParallelMIOEngine:
             label_reuse=self.label_reuse,
             key_cache=self.key_cache,
         )
-        result = engine._run(r, k=k, want_ranking=want_ranking, deadline=deadline)
+        # The serial engine opens its own "query" span (a child of ours) and
+        # observes itself as engine="serial", so the fallback is visible in
+        # both the trace and the metrics without double counting.
+        result = engine._run(r, k=k, want_ranking=want_ranking, deadline=deadline, tracer=tracer)
         result.counters["serial_fallback"] = 1
         if isinstance(cause, PartitionTaskError) and cause.task_index is not None:
             result.counters["failed_task_index"] = cause.task_index
         result.notes["serial_fallback"] = f"parallel execution failed: {cause}"
         return result
+
+    def _finish_phase_span(self, tracer, span, report: CoreReport) -> None:
+        """Seal a parallel phase span so the trace matches ``phases``.
+
+        The span's wall-clock measurement is replaced by the simulated
+        makespan, and one child span per simulated core carries that core's
+        charged load, so ``repro explain`` shows the schedule's balance.
+        """
+        span.set_duration(report.makespan)
+        span.set_attributes(
+            serial_seconds=report.serial_seconds,
+            barrier_seconds=report.barrier_seconds,
+            merge_seconds=report.merge_seconds,
+        )
+        # Barrier-accumulated phases charge rounds, not cores: their
+        # per-core vector is all zeros and would only add noise.
+        if tracer.enabled and any(report.per_core_seconds):
+            for core, seconds in enumerate(report.per_core_seconds):
+                tracer.record(f"core-{core}", seconds, core=core)
 
     def _run_parallel(
         self,
@@ -191,28 +240,46 @@ class ParallelMIOEngine:
         k: int,
         want_ranking: bool,
         deadline: Optional[Deadline] = None,
+        tracer=None,
     ) -> MIOResult:
+        tracer = ensure_tracer(tracer)
         labels = None
         if self.label_store is not None:
             labels = self.label_store.get(math.ceil(r))
             if labels is not None and not labels_match_collection(labels, self.collection):
                 labels = None  # stale store: relabeling is the serial engine's job
 
-        faults.trip("grid_mapping")
-        checkpoint(deadline, "grid_mapping")
-        bigrid, map_report = self._parallel_grid_mapping(r, labels)
-        faults.trip("lower_bounding")
-        checkpoint(deadline, "lower_bounding")
-        lower_values, lower_bitsets, lb_report = self._parallel_lower_bounding(bigrid, labels)
-        threshold = _kth_largest(lower_values, k)
-        faults.trip("upper_bounding")
-        checkpoint(deadline, "upper_bounding")
-        candidates, ub_report = self._parallel_upper_bounding(bigrid, threshold, labels)
-        faults.trip("verification")
-        checkpoint(deadline, "verification")
-        ranking, verify_report, verified = self._parallel_verification(
-            bigrid, candidates, r, lower_bitsets, labels, k
-        )
+        with tracer.span("grid_mapping") as span:
+            faults.trip("grid_mapping")
+            checkpoint(deadline, "grid_mapping")
+            bigrid, map_report = self._parallel_grid_mapping(r, labels)
+            self._finish_phase_span(tracer, span, map_report)
+            span.set_attributes(
+                small_cells=len(bigrid.small_grid.cells),
+                large_cells=len(bigrid.large_grid.cells),
+                mapped_points=bigrid.mapped_points,
+            )
+        with tracer.span("lower_bounding", strategy=self.lb_strategy) as span:
+            faults.trip("lower_bounding")
+            checkpoint(deadline, "lower_bounding")
+            lower_values, lower_bitsets, lb_report = self._parallel_lower_bounding(bigrid, labels)
+            threshold = _kth_largest(lower_values, k)
+            self._finish_phase_span(tracer, span, lb_report)
+            span.set_attributes(tau_max_low=threshold)
+        with tracer.span("upper_bounding", strategy=self.ub_strategy) as span:
+            faults.trip("upper_bounding")
+            checkpoint(deadline, "upper_bounding")
+            candidates, ub_report = self._parallel_upper_bounding(bigrid, threshold, labels)
+            self._finish_phase_span(tracer, span, ub_report)
+            span.set_attributes(candidates=len(candidates))
+        with tracer.span("verification") as span:
+            faults.trip("verification")
+            checkpoint(deadline, "verification")
+            ranking, verify_report, verified = self._parallel_verification(
+                bigrid, candidates, r, lower_bitsets, labels, k
+            )
+            self._finish_phase_span(tracer, span, verify_report)
+            span.set_attributes(settled=verified)
         winner, score = ranking[0] if ranking else (candidates[0][1] if candidates else 0, 0)
 
         phases = {
@@ -227,7 +294,7 @@ class ParallelMIOEngine:
             "serial:upper_bounding": ub_report.serial_seconds,
             "serial:verification": verify_report.serial_seconds,
         }
-        return MIOResult(
+        result = MIOResult(
             algorithm="bigrid-parallel" if labels is None else "bigrid-label-parallel",
             r=r,
             winner=winner,
@@ -242,6 +309,8 @@ class ParallelMIOEngine:
             memory_bytes=bigrid.memory_bytes(),
             extra=extra,
         )
+        observe_query(result, engine="parallel")
+        return result
 
     # ------------------------------------------------------------------
     # PARALLEL-GRID-MAPPING: hash-partition each object's points

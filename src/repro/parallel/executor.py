@@ -55,13 +55,23 @@ def run_task_with_retries(task: Task, index: int, retries: int) -> Any:
         except PartitionTaskError:
             raise
         except Exception as exc:
+            from repro.obs import metrics as obs_metrics
+
             attempt += 1
             if attempt > retries:
+                obs_metrics.counter(
+                    "repro_partition_task_failures_total",
+                    "Partition tasks abandoned after exhausting their retry budget",
+                ).inc()
                 raise PartitionTaskError(
                     f"partition task {index} failed after {attempt} attempt(s): {exc}",
                     task_index=index,
                     attempts=attempt,
                 ) from exc
+            obs_metrics.counter(
+                "repro_partition_task_retries_total",
+                "Partition task re-executions after a failure",
+            ).inc()
 
 
 @contextmanager

@@ -97,6 +97,14 @@ class Deadline:
         """
         now = self._clock()
         if now >= self._expires:
+            # Imported here so the non-expired fast path -- called inside
+            # per-object loops -- stays a clock read and one comparison.
+            from repro.obs import metrics as obs_metrics
+
+            obs_metrics.counter(
+                "repro_deadline_expirations_total",
+                "Query deadlines that expired, by pipeline phase",
+            ).inc(phase=phase)
             raise QueryTimeout(
                 f"query deadline of {self.budget:.3f}s expired during {phase} "
                 f"({now - self._started:.3f}s elapsed)",

@@ -51,6 +51,10 @@ from repro.core.query import MIOResult
 from repro.dynamic import DynamicMIO
 from repro.errors import InvalidQueryError, QueryTimeout
 from repro.grid.cache import LargeKeyCache
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, new_id
+from repro.obs.recorders import register_cache_metrics
+from repro.obs.trace import ensure_tracer
 from repro.parallel.engine import ParallelMIOEngine
 from repro.resilience import Deadline
 
@@ -137,6 +141,7 @@ class QuerySession:
         retries: int = 2,
         label_dir=None,
         lower_cache_entries: int = 8,
+        tracer=None,
     ) -> None:
         if cores < 1:
             raise InvalidQueryError("cores must be at least 1")
@@ -144,9 +149,14 @@ class QuerySession:
         self.label_reuse = label_reuse
         self.cores = cores
         self.retries = retries
+        #: Optional tracer shared with both engines: batched workloads
+        #: produce one ``batch`` root span with a ``request`` child per
+        #: query, each containing that query's full phase tree.
+        self.tracer = tracer
         self.label_store = LabelStore(label_dir)
         self.key_cache = LargeKeyCache()
         self.lower_cache = LowerBoundCache(lower_cache_entries)
+        register_cache_metrics()
         self.counters: Dict[str, int] = {
             "queries": 0,
             "batches": 0,
@@ -201,6 +211,7 @@ class QuerySession:
             label_reuse=self.label_reuse,
             key_cache=self.key_cache,
             lower_cache=self.lower_cache,
+            tracer=self.tracer,
         )
         self._parallel = (
             ParallelMIOEngine(
@@ -211,6 +222,7 @@ class QuerySession:
                 label_reuse=self.label_reuse,
                 retries=self.retries,
                 key_cache=self.key_cache,
+                tracer=self.tracer,
             )
             if self.cores > 1
             else None
@@ -292,10 +304,50 @@ class QuerySession:
             range(len(normalized)),
             key=lambda i: (normalized[i].ceiling(), -normalized[i].r, i),
         )
+        tracer = ensure_tracer(self.tracer)
+        logger = get_logger()
+        batch_id = new_id("batch")
         results: List[Optional[MIOResult]] = [None] * len(normalized)
-        for index in order:
-            results[index] = self._execute(normalized[index], catch_timeout=True)
+        with tracer.span("batch", batch_id=batch_id, size=len(normalized)):
+            for index in order:
+                request = normalized[index]
+                query_id = new_id("query")
+                with tracer.span(
+                    "request",
+                    batch_id=batch_id,
+                    query_id=query_id,
+                    request_index=index,
+                    r=request.r,
+                    k=request.k,
+                ):
+                    result = self._execute(request, catch_timeout=True)
+                results[index] = result
+                if logger.enabled:
+                    logger.log(
+                        "query",
+                        batch_id=batch_id,
+                        query_id=query_id,
+                        request_index=index,
+                        r=request.r,
+                        k=request.k,
+                        algorithm=result.algorithm,
+                        winner=result.winner,
+                        score=result.score,
+                        exact=result.exact,
+                        seconds=result.total_time,
+                    )
         self.counters["batches"] += 1
+        obs_metrics.counter(
+            "repro_batches_total", "Batched query_many calls completed"
+        ).inc()
+        if logger.enabled:
+            logger.log(
+                "batch",
+                batch_id=batch_id,
+                size=len(normalized),
+                timeouts=sum(1 for res in results if res is not None and res.winner < 0),
+                anytime=sum(1 for res in results if res is not None and not res.exact),
+            )
         return results
 
     # ------------------------------------------------------------------

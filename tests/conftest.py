@@ -96,6 +96,17 @@ def random_collection(
 
 
 @pytest.fixture
+def fresh_registry():
+    """An isolated metrics registry installed for one test."""
+    from repro.obs import metrics as obs_metrics
+
+    registry = obs_metrics.MetricsRegistry()
+    previous = obs_metrics.set_registry(registry)
+    yield registry
+    obs_metrics.set_registry(previous)
+
+
+@pytest.fixture
 def small_collection() -> ObjectCollection:
     """Four hand-built 2-D objects with known interactions at r = 1.5.
 

@@ -1,0 +1,147 @@
+"""Exporters: Prometheus text format, its grammar validator, JSON."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    metrics_json,
+    prometheus_text,
+    trace_json,
+    validate_prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_queries_total", "MIO queries answered").inc(
+        engine="serial", algorithm="bigrid"
+    )
+    registry.gauge("repro_index_memory_bytes", "Index size").set(4096, engine="serial")
+    registry.histogram(
+        "repro_query_seconds", "Query latency", buckets=(0.001, 0.1, 1.0)
+    ).observe(0.05, engine="serial")
+    return registry
+
+
+class TestPrometheusText:
+    def test_real_output_passes_the_validator(self):
+        text = prometheus_text(populated_registry())
+        validate_prometheus_text(text)  # must not raise
+
+    def test_headers_and_samples(self):
+        text = prometheus_text(populated_registry())
+        lines = text.splitlines()
+        assert "# HELP repro_queries_total MIO queries answered" in lines
+        assert "# TYPE repro_queries_total counter" in lines
+        assert 'repro_queries_total{algorithm="bigrid",engine="serial"} 1' in lines
+        assert "# TYPE repro_index_memory_bytes gauge" in lines
+        assert 'repro_index_memory_bytes{engine="serial"} 4096' in lines
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = prometheus_text(populated_registry())
+        lines = [line for line in text.splitlines() if line.startswith("repro_query_seconds")]
+        assert lines == [
+            'repro_query_seconds_bucket{engine="serial",le="0.001"} 0',
+            'repro_query_seconds_bucket{engine="serial",le="0.1"} 1',
+            'repro_query_seconds_bucket{engine="serial",le="1"} 1',
+            'repro_query_seconds_bucket{engine="serial",le="+Inf"} 1',
+            'repro_query_seconds_sum{engine="serial"} 0.05',
+            'repro_query_seconds_count{engine="serial"} 1',
+        ]
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", "test").inc(
+            name='quote " backslash \\ newline \n done'
+        )
+        text = prometheus_text(registry)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        validate_prometheus_text(text)
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        validate_prometheus_text("")
+
+
+class TestValidator:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            validate_prometheus_text(
+                "# HELP x_total t\n# TYPE x_total counter\nx_total{oops} 1\n"
+            )
+
+    def test_rejects_sample_without_type_header(self):
+        with pytest.raises(ValueError, match="no TYPE header"):
+            validate_prometheus_text("orphan_total 1\n")
+
+    def test_rejects_duplicate_headers(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            validate_prometheus_text(
+                "# TYPE x_total counter\n# TYPE x_total counter\n"
+            )
+        with pytest.raises(ValueError, match="duplicate HELP"):
+            validate_prometheus_text("# HELP x t\n# HELP x t\n")
+
+    def test_rejects_malformed_comment(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            validate_prometheus_text("# TYPE x_total banana\n")
+
+    def test_rejects_bucket_without_le(self):
+        body = (
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{engine="x"} 1\n'
+        )
+        with pytest.raises(ValueError, match="without le"):
+            validate_prometheus_text(body)
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        body = (
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="1"} 1\n'
+            "h_seconds_sum 1\n"
+            "h_seconds_count 1\n"
+        )
+        with pytest.raises(ValueError, match="no \\+Inf bucket"):
+            validate_prometheus_text(body)
+
+    def test_rejects_histogram_missing_sum_count(self):
+        body = (
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="+Inf"} 1\n'
+        )
+        with pytest.raises(ValueError, match="_sum/_count"):
+            validate_prometheus_text(body)
+
+    def test_error_names_the_line(self):
+        with pytest.raises(ValueError, match="line 3"):
+            validate_prometheus_text(
+                "# HELP x_total t\n# TYPE x_total counter\n!bad\n"
+            )
+
+
+class TestJsonExports:
+    def test_metrics_json_round_trips(self):
+        document = json.loads(metrics_json(populated_registry()))
+        assert document["repro_queries_total"]["type"] == "counter"
+        series = document["repro_queries_total"]["series"]
+        assert series['algorithm="bigrid",engine="serial"'] == 1.0
+        histogram = document["repro_query_seconds"]["series"]['engine="serial"']
+        assert histogram["count"] == 1
+        assert histogram["buckets"]["+Inf"] == 1
+
+    def test_trace_json_nests_children(self):
+        tracer = Tracer()
+        with tracer.span("query", r=4.0):
+            tracer.record("grid_mapping", 0.5, cells=3)
+        document = json.loads(trace_json(tracer.roots))
+        assert len(document) == 1
+        root = document[0]
+        assert root["name"] == "query"
+        assert root["attributes"] == {"r": 4.0}
+        (child,) = root["children"]
+        assert child["name"] == "grid_mapping"
+        assert child["duration_seconds"] == 0.5
+        assert child["attributes"] == {"cells": 3}

@@ -1,0 +1,186 @@
+"""The span tracer: nesting, timing, overrides, and the no-op path."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    ensure_tracer,
+    phase_durations,
+)
+
+
+class SteppingClock:
+    """A deterministic monotonic clock advancing a fixed step per read."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        reading = self.now
+        self.now += self.step
+        return reading
+
+
+class TestSpanNesting:
+    def test_children_attach_to_the_open_span(self):
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            with tracer.span("grid_mapping"):
+                pass
+            with tracer.span("verification") as verify:
+                with tracer.span("candidate"):
+                    pass
+        assert [child.name for child in root.children] == [
+            "grid_mapping", "verification",
+        ]
+        assert [child.name for child in verify.children] == ["candidate"]
+        assert tracer.roots == [root]
+        assert tracer.root is root
+        assert tracer.current is None
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [span.name for span in tracer.roots] == ["first", "second"]
+        assert tracer.root.name == "second"
+
+    def test_current_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        assert [span.name for span in tracer.root.walk()] == ["a", "b", "c", "d"]
+
+
+class TestSpanTiming:
+    def test_durations_are_monotone_with_the_clock(self):
+        clock = SteppingClock(step=1.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        # Each enter/exit reads the clock once: inner spans 1 tick,
+        # the outer span covers all four reads (3 ticks).
+        assert inner.duration == pytest.approx(1.0)
+        assert outer.duration == pytest.approx(3.0)
+        assert outer.duration >= inner.duration
+        assert outer.started <= inner.started
+
+    def test_unfinished_span_reports_zero(self):
+        tracer = Tracer()
+        span = tracer.span("never-entered")
+        assert span.duration == 0.0
+        assert not span.finished
+
+    def test_set_duration_overrides_the_measurement(self):
+        clock = SteppingClock(step=1.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("simulated") as span:
+            pass
+        span.set_duration(42.5)
+        assert span.duration == 42.5
+        assert span.finished
+
+    def test_record_attaches_known_duration_work(self):
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            span = tracer.record("grid_mapping", 0.25, cells=7)
+        assert span in root.children
+        assert span.duration == 0.25
+        assert span.attributes == {"cells": 7}
+
+
+class TestSpanAttributes:
+    def test_attributes_via_constructor_and_setters(self):
+        tracer = Tracer()
+        with tracer.span("query", r=4.0) as span:
+            span.set_attribute("winner", 3)
+            span.set_attributes(score=9, exact=True)
+        assert span.attributes == {"r": 4.0, "winner": 3, "score": 9, "exact": True}
+
+    def test_exception_records_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        outer, inner = tracer.root, tracer.root.children[0]
+        assert inner.attributes["error"] == "ValueError"
+        assert outer.attributes["error"] == "ValueError"
+        # The stack unwound fully: new spans become roots again.
+        assert tracer.current is None
+
+    def test_to_dict_round_trip_shape(self):
+        tracer = Tracer()
+        with tracer.span("query", r=2.0):
+            with tracer.span("grid_mapping"):
+                pass
+        payload = tracer.root.to_dict()
+        assert payload["name"] == "query"
+        assert payload["attributes"] == {"r": 2.0}
+        assert [child["name"] for child in payload["children"]] == ["grid_mapping"]
+        assert payload["duration_seconds"] >= 0.0
+
+
+class TestPhaseDurations:
+    def test_reads_direct_phase_children_only(self):
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            with tracer.span("grid_mapping") as span:
+                pass
+            span.set_duration(0.5)
+            with tracer.span("verification") as span:
+                # Nested non-phase spans are not counted.
+                tracer.record("core-0", 10.0)
+            span.set_duration(0.25)
+            tracer.record("not-a-phase", 99.0)
+        phases = phase_durations(root)
+        assert phases == {"grid_mapping": 0.5, "verification": 0.25}
+
+    def test_repeated_phases_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            tracer.record("label_input", 0.1)
+            tracer.record("label_input", 0.2)
+        assert phase_durations(root)["label_input"] == pytest.approx(0.3)
+
+
+class TestNullTracer:
+    def test_ensure_tracer_maps_none_to_the_null_singleton(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert ensure_tracer(tracer) is tracer
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("query", r=1.0) as span:
+            span.set_attribute("x", 1)
+            span.set_attributes(y=2)
+            span.set_duration(5.0)
+            inner = tracer.record("phase", 1.0)
+        assert span is inner  # one shared no-op span instance
+        assert not tracer.enabled
+        assert tracer.roots == []
+        assert tracer.root is None
+        assert span.duration == 0.0
+        assert span.attributes == {}
