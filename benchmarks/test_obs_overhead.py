@@ -1,7 +1,8 @@
 """Disabled-tracer overhead guard (observability acceptance bar).
 
 The tracer's contract is "zero-cost-ish when disabled": with no tracer
-attached, every instrumentation point in :meth:`MIOEngine._run_phases`
+attached, every instrumentation point in the shared
+:class:`~repro.core.pipeline.PhasePipeline` orchestrator
 costs one branch plus an empty context-manager enter/exit on the shared
 no-op span, and the registry feeds cost one dict-slot float add each.
 This bench re-threads the engine's pipeline *by hand* -- the same

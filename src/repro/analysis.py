@@ -26,7 +26,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.objects import ObjectCollection
-from repro.core.verification import _bits_of
+from repro.core.verification import bits_of
 from repro.grid.bigrid import BIGrid
 
 
@@ -61,7 +61,7 @@ def _partner_sets(
                 pending = large_grid.adjacent_union_int(key) & ~confirmed
                 if not pending:
                     continue
-                remaining = _bits_of(pending)
+                remaining = bits_of(pending)
                 point = points[point_index]
                 for cell in large_grid.cells[key].neighbor_cells:
                     for candidate in remaining.intersection(cell.postings):

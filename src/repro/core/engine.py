@@ -7,6 +7,13 @@ and prunes, then verifies best-first:
 
     GRID-MAPPING -> LOWER-BOUNDING -> UPPER-BOUNDING -> VERIFICATION
 
+The engine itself is thin: it validates the request, snapshots its
+configuration into a :class:`~repro.core.pipeline.QueryContext`, and runs
+the shared :data:`~repro.core.pipeline.SERIAL_PIPELINE` -- the one
+orchestrator that applies tracing spans, fault trips, deadline
+checkpoints, phase timing, and metric recording uniformly across every
+engine variant (see :mod:`repro.core.pipeline`).
+
 When the engine owns a :class:`~repro.core.labels.LabelStore`, the first
 query for each ``ceil(r)`` additionally produces point labels, and later
 queries with the same ceiling run the WITH-LABEL variants of every phase
@@ -17,25 +24,18 @@ lower-bounding union and skips ``label != 1*1`` points.
 
 from __future__ import annotations
 
-import math
-import time
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro import faults
-from repro.bitset.factory import resolve_backend
-from repro.core.labels import LabelStore, PointLabels, labels_match_collection
-from repro.core.lower_bound import LowerBoundCache, LowerBoundResult, compute_lower_bounds
+from repro.core.labels import LabelStore
+from repro.core.lower_bound import LowerBoundCache
 from repro.core.objects import ObjectCollection
-from repro.core.query import MIOResult, PhaseStats
-from repro.core.upper_bound import compute_upper_bounds
-from repro.core.verification import VerificationResult, verify_candidates
+from repro.core.pipeline import SERIAL_PIPELINE, QueryContext, run_grouped_sweep
+from repro.core.query import MIOResult
 from repro.errors import InvalidQueryError
 from repro.grid.bigrid import BIGrid
 from repro.grid.cache import LargeKeyCache
-from repro.obs import metrics as obs_metrics
-from repro.obs.recorders import observe_query
-from repro.obs.trace import ensure_tracer, phase_durations
-from repro.resilience import Deadline, checkpoint
+from repro.obs.trace import ensure_tracer
+from repro.resilience import Deadline
 
 
 class MIOEngine:
@@ -143,12 +143,15 @@ class MIOEngine:
         """Answer a batch of MIO queries, maximizing label reuse.
 
         This is the workload Section III-D targets -- analysts sweeping
-        fine-grained thresholds.  Queries are executed grouped by
-        ``ceil(r)``, largest ``r`` first within each group, so the first
-        (most general) query of each group produces the labels and every
-        other query in the group runs the WITH-LABEL pipeline.  Results
-        are returned in the caller's order.  If the engine has no label
-        store, one is created for the duration of the batch.
+        fine-grained thresholds.  Queries run in the pipeline's shared
+        ceil(r)-grouped sweep order (:func:`~repro.core.pipeline.
+        run_grouped_sweep`, the same planner the session's ``query_many``
+        uses): grouped by ``ceil(r)``, largest ``r`` first within each
+        group, so the first (most general) query of each group produces
+        the labels and every other query in the group runs the WITH-LABEL
+        pipeline.  Results are returned in the caller's order.  If the
+        engine has no label store, one is created for the duration of the
+        batch.
         """
         r_values = list(r_values)
         if not r_values:
@@ -157,20 +160,15 @@ class MIOEngine:
         if owned_store:
             self.label_store = LabelStore()
         try:
-            order = sorted(
-                range(len(r_values)),
-                key=lambda index: (math.ceil(r_values[index]), -r_values[index]),
+            return run_grouped_sweep(
+                r_values, lambda index: self.query(r_values[index])
             )
-            results: List[Optional[MIOResult]] = [None] * len(r_values)
-            for index in order:
-                results[index] = self.query(r_values[index])
-            return results
         finally:
             if owned_store:
                 self.label_store = None
 
     # ------------------------------------------------------------------
-    # Pipeline
+    # Pipeline entry
     # ------------------------------------------------------------------
 
     def _run(
@@ -184,265 +182,21 @@ class MIOEngine:
         if r <= 0:
             raise InvalidQueryError("the distance threshold r must be positive")
         tracer = ensure_tracer(tracer if tracer is not None else self.tracer)
-        with tracer.span(
-            "query", engine="serial", r=r, k=k, backend=self.backend
-        ) as root:
-            result = self._run_phases(r, k, want_ranking, deadline, tracer)
-            root.set_attributes(
-                winner=result.winner, score=result.score, exact=result.exact
-            )
-        if tracer.enabled:
-            # The trace is the source of truth: the reported per-phase
-            # times ARE the span durations, so tree and result agree.
-            result.phases = phase_durations(root)
-        observe_query(result, engine="serial")
-        return result
-
-    def _run_phases(
-        self,
-        r: float,
-        k: int,
-        want_ranking: bool,
-        deadline: Optional[Deadline],
-        tracer,
-    ) -> MIOResult:
-        stats = PhaseStats()
-        ceil_r = math.ceil(r)
-        notes: Dict[str, str] = {}
-
-        # Backend degradation chain: an unavailable backend downgrades the
-        # query instead of failing it, and the downgrade is recorded.
-        _, resolved_backend = resolve_backend(self.backend)
-        if resolved_backend != self.backend:
-            notes["degraded_backend"] = f"{self.backend}->{resolved_backend}"
-            stats.set_count("degraded_backend", 1)
-            obs_metrics.counter(
-                "repro_backend_degradations_total",
-                "Bitset backend downgrades (requested backend unavailable)",
-            ).inc(requested=self.backend, resolved=resolved_backend)
-
-        if self.label_store is not None:
-            with tracer.span("label_input") as span:
-                labels = self._load_labels(ceil_r, stats)
-                if labels is None:
-                    # A missed lookup reads no labels: keep it visible in
-                    # the trace, but not as a phase (``phase_durations``
-                    # must mirror the untraced PhaseStats semantics).
-                    span.rename("label_lookup")
-                span.set_attributes(cache_hit=labels is not None)
-        else:
-            labels = None
-        labeling = self.label_store is not None and labels is None
-        labeler = PointLabels.for_collection(self.collection, r) if labeling else None
-
-        # GRID-MAPPING (Algorithm 3), skipping label(p) = 0** points.
-        faults.trip("grid_mapping")
-        checkpoint(deadline, "grid_mapping")
-        with tracer.span("grid_mapping") as span:
-            started = time.perf_counter()
-            bigrid = BIGrid.build(
-                self.collection,
-                r,
-                backend=resolved_backend,
-                point_filter=labels.grid_mask if labels is not None else None,
-                deadline=deadline,
-                large_keys_provider=(
-                    self.key_cache.provider(self.collection, ceil_r)
-                    if self.key_cache is not None
-                    else None
-                ),
-            )
-            stats.add_time("grid_mapping", time.perf_counter() - started)
-            stats.set_count("small_cells", len(bigrid.small_grid))
-            stats.set_count("large_cells", len(bigrid.large_grid))
-            stats.set_count("mapped_points", bigrid.mapped_points)
-            span.set_attributes(
-                small_cells=len(bigrid.small_grid),
-                large_cells=len(bigrid.large_grid),
-                mapped_points=bigrid.mapped_points,
-            )
-        self.last_bigrid = bigrid
-
-        # LOWER-BOUNDING (Algorithm 4).  The WITH-LABEL variant keeps the
-        # union bitsets to seed verification.
-        faults.trip("lower_bounding")
-        checkpoint(deadline, "lower_bounding")
-        with tracer.span("lower_bounding") as span:
-            started = time.perf_counter()
-            lower = (
-                self.lower_cache.get(r, bigrid.small_grid.bitset_cls)
-                if self.lower_cache is not None
-                else None
-            )
-            if lower is not None:
-                stats.set_count("lower_cache_hit", 1)
-                stats.set_count("tau_max_low", lower.tau_max)
-                span.set_attribute("cache_hit", True)
-            else:
-                lower = compute_lower_bounds(
-                    bigrid,
-                    keep_bitsets=labels is not None or self.lower_cache is not None,
-                    stats=stats,
-                    deadline=deadline,
-                )
-                if self.lower_cache is not None:
-                    self.lower_cache.put(r, lower)
-            stats.add_time("lower_bounding", time.perf_counter() - started)
-            span.set_attribute("tau_max_low", lower.tau_max)
-        threshold = lower.tau_max if k == 1 else _kth_largest(lower.values, k)
-
-        # UPPER-BOUNDING + pruning (Algorithm 5).
-        faults.trip("upper_bounding")
-        checkpoint(deadline, "upper_bounding")
-        with tracer.span("upper_bounding") as span:
-            started = time.perf_counter()
-            upper = compute_upper_bounds(
-                bigrid,
-                threshold,
-                upper_masks=labels.upper_mask if labels is not None else None,
-                labeler=labeler,
-                stats=stats,
-                deadline=deadline,
-            )
-            stats.add_time("upper_bounding", time.perf_counter() - started)
-            span.set_attribute("candidates", len(upper.candidates))
-
-        # VERIFICATION (Algorithm 6 / top-k variant).  From here on an
-        # expired deadline degrades to an anytime answer instead of raising:
-        # every settled candidate's score is exact, so the best one is a
-        # correct lower bound on the optimum (Corollary 1).
-        faults.trip("verification")
-        with tracer.span("verification") as span:
-            started = time.perf_counter()
-            verification = verify_candidates(
-                bigrid,
-                upper.candidates,
-                r,
-                k=k,
-                initial_bitsets=(
-                    (lambda oid: lower.bitsets[oid]) if lower.bitsets is not None else None
-                ),
-                verify_masks=self._verify_masks(labels, r),
-                labeler=labeler,
-                stats=stats,
-                deadline=deadline,
-            )
-            stats.add_time("verification", time.perf_counter() - started)
-            stats.set_count("candidates_total", len(upper.candidates))
-            stats.set_count("candidates_settled", verification.verified)
-            span.set_attributes(
-                candidates=len(upper.candidates),
-                settled=verification.verified,
-                timed_out=verification.timed_out,
-            )
-
-        if verification.timed_out:
-            # A partial labeling pass must not be persisted: its marks are
-            # individually sound but the store would record the pass as
-            # complete for this ceil(r).
-            return self._anytime_result(
-                r, lower, verification, stats, bigrid, labels, notes, want_ranking
-            )
-
-        if labeler is not None:
-            with tracer.span("label_output"):
-                started = time.perf_counter()
-                self.label_store.put(ceil_r, labeler)
-                stats.add_time("label_output", time.perf_counter() - started)
-            for kind, count in labeler.count_cleared().items():
-                stats.set_count(f"labeled_{kind}", count)
-
-        ranking = verification.ranking
-        if not ranking:
-            raise AssertionError("verification produced no answer for a non-empty collection")
-        winner, score = ranking[0]
-        return MIOResult(
-            algorithm="bigrid-label" if labels is not None else "bigrid",
+        ctx = QueryContext(
+            collection=self.collection,
             r=r,
-            winner=winner,
-            score=score,
-            topk=ranking if want_ranking else None,
-            phases=stats.phases,
-            counters=stats.counters,
-            memory_bytes=bigrid.memory_bytes(),
-            notes=notes,
+            k=k,
+            want_ranking=want_ranking,
+            deadline=deadline,
+            tracer=tracer,
+            backend=self.backend,
+            label_store=self.label_store,
+            label_reuse=self.label_reuse,
+            key_cache=self.key_cache,
+            lower_cache=self.lower_cache,
+            engine=self,
         )
-
-    def _anytime_result(
-        self,
-        r: float,
-        lower: LowerBoundResult,
-        verification: VerificationResult,
-        stats: PhaseStats,
-        bigrid: BIGrid,
-        labels: Optional[PointLabels],
-        notes: Dict[str, str],
-        want_ranking: bool,
-    ) -> MIOResult:
-        """Best verified answer under an expired deadline (``exact=False``).
-
-        Two certified lower bounds are available: the best *exact* score
-        among settled candidates, and the best Lemma-1 lower bound over all
-        objects.  Both are correct; the larger one wins.  The result's score
-        is therefore always ``<= tau(winner) <=`` the true optimum.
-        """
-        ranking = verification.ranking
-        best_lb_oid = max(
-            range(bigrid.collection.n),
-            key=lambda oid: (lower.values[oid], -oid),
-        )
-        best_lb = lower.values[best_lb_oid]
-        if ranking and ranking[0][1] >= best_lb:
-            winner, score = ranking[0]
-        else:
-            winner, score = best_lb_oid, best_lb
-        notes = dict(notes)
-        notes["anytime"] = "deadline expired during verification"
-        return MIOResult(
-            algorithm="bigrid-label" if labels is not None else "bigrid",
-            r=r,
-            winner=winner,
-            score=score,
-            topk=ranking if want_ranking and ranking else None,
-            phases=stats.phases,
-            counters=stats.counters,
-            memory_bytes=bigrid.memory_bytes(),
-            exact=False,
-            notes=notes,
-        )
-
-    # ------------------------------------------------------------------
-    # Label plumbing
-    # ------------------------------------------------------------------
-
-    def _load_labels(self, ceil_r: int, stats: PhaseStats) -> Optional[PointLabels]:
-        if self.label_store is None:
-            return None
-        started = time.perf_counter()
-        labels = self.label_store.get(ceil_r)
-        if labels is not None and not labels_match_collection(labels, self.collection):
-            # Stored labels describe a different collection (stale store);
-            # ignore them and relabel rather than risk a wrong answer.
-            labels = None
-        if labels is not None:
-            stats.add_time("label_input", time.perf_counter() - started)
-        return labels
-
-    def _verify_masks(self, labels: Optional[PointLabels], r: float):
-        """Labeling-3 mask provider, honoring the reuse policy."""
-        if labels is None:
-            return None
-        if self.label_reuse == "safe" and labels.r != r:
-            # Labeling-1 still filters grid mapping; Labeling-3 is withheld.
-            return None
-        return labels.verify_mask
-
-
-def _kth_largest(values: List[int], k: int) -> int:
-    """The k-th highest value (0 when fewer than k values exist)."""
-    if k > len(values):
-        return 0
-    return sorted(values, reverse=True)[k - 1]
+        return SERIAL_PIPELINE.run(ctx)
 
 
 def _deadline(

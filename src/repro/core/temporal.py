@@ -21,22 +21,103 @@ so the answer stays exact).
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
 from repro.bitset.factory import bitset_class
 from repro.core.objects import ObjectCollection
-from repro.core.verification import _bits_of
-from repro.core.query import MIOResult, PhaseStats
+from repro.core.pipeline import PhasePipeline, QueryContext, Stage
+from repro.core.query import MIOResult
+from repro.core.verification import bits_of
 from repro.grid.keys import Key, compute_keys, large_cell_width, small_cell_width
 from repro.grid.large_grid import LargeGrid
 from repro.grid.small_grid import SmallGrid
 
 
+class _TemporalStage(Stage):
+    """Base flags for the temporal stage set.
+
+    The temporal variant predates the fault points and has no deadline
+    parameter, so both boundary middlewares stay off; phase timing and
+    (when a tracer is ever attached) spans come from the orchestrator.
+    """
+
+    trips_fault = False
+    checks_deadline = False
+
+
+class _TemporalGridMapping(_TemporalStage):
+    name = "grid_mapping"
+
+    def run(self, ctx: QueryContext, span) -> None:
+        index = _TemporalBIGrid.build(ctx.collection, ctx.r, ctx.delta, ctx.backend)
+        ctx.index = index
+        ctx.stats.set_count("small_cells", len(index.small_grid))
+        ctx.stats.set_count("large_cells", len(index.large_grid))
+        ctx.stats.set_count("time_bins", index.bin_count)
+
+
+class _TemporalLowerBounding(_TemporalStage):
+    name = "lower_bounding"
+
+    def run(self, ctx: QueryContext, span) -> None:
+        ctx.lower_values, ctx.tau_max = ctx.index.lower_bounds()
+
+
+class _TemporalUpperBounding(_TemporalStage):
+    name = "upper_bounding"
+
+    def run(self, ctx: QueryContext, span) -> None:
+        ctx.candidates = ctx.index.upper_bound_candidates(ctx.tau_max)
+        ctx.stats.set_count("candidates", len(ctx.candidates))
+
+
+class _TemporalVerification(_TemporalStage):
+    name = "verification"
+
+    def run(self, ctx: QueryContext, span) -> None:
+        winner, score, verified = ctx.index.verify(ctx.candidates, ctx.r, ctx.delta)
+        ctx.winner, ctx.score, ctx.verified = winner, score, verified
+        ctx.stats.set_count("verified_objects", verified)
+
+
+class _TemporalFinalize(_TemporalStage):
+    traced = False
+    timed = False
+
+    def run(self, ctx: QueryContext, span) -> None:
+        ctx.result = MIOResult(
+            algorithm="bigrid-temporal",
+            r=ctx.r,
+            winner=ctx.winner,
+            score=ctx.score,
+            phases=ctx.stats.phases,
+            counters=ctx.stats.counters,
+            memory_bytes=ctx.index.memory_bytes(),
+        )
+
+
+_TEMPORAL_PIPELINE = PhasePipeline(
+    (
+        _TemporalGridMapping(),
+        _TemporalLowerBounding(),
+        _TemporalUpperBounding(),
+        _TemporalVerification(),
+        _TemporalFinalize(),
+    ),
+    engine="temporal",
+    root_attributes=lambda ctx: {"r": ctx.r, "delta": ctx.delta},
+)
+
+
 class TemporalMIOEngine:
-    """MIO queries with a temporal threshold ``delta`` (Appendix B)."""
+    """MIO queries with a temporal threshold ``delta`` (Appendix B).
+
+    Runs the shared :class:`~repro.core.pipeline.PhasePipeline` with a
+    ``(bin, key)``-indexed stage set: the Appendix B renditions of
+    Algorithms 4-6 over one fused grid.
+    """
 
     def __init__(self, collection: ObjectCollection, backend: str = "ewah") -> None:
         if not collection.has_timestamps():
@@ -50,38 +131,11 @@ class TemporalMIOEngine:
             raise ValueError("the distance threshold r must be positive")
         if delta < 0:
             raise ValueError("the temporal threshold delta must be non-negative")
-        stats = PhaseStats()
-
-        started = time.perf_counter()
-        index = _TemporalBIGrid.build(self.collection, r, delta, self.backend)
-        stats.add_time("grid_mapping", time.perf_counter() - started)
-        stats.set_count("small_cells", len(index.small_grid))
-        stats.set_count("large_cells", len(index.large_grid))
-        stats.set_count("time_bins", index.bin_count)
-
-        started = time.perf_counter()
-        lower_values, tau_max = index.lower_bounds()
-        stats.add_time("lower_bounding", time.perf_counter() - started)
-
-        started = time.perf_counter()
-        candidates = index.upper_bound_candidates(tau_max)
-        stats.add_time("upper_bounding", time.perf_counter() - started)
-        stats.set_count("candidates", len(candidates))
-
-        started = time.perf_counter()
-        winner, score, verified = index.verify(candidates, r, delta)
-        stats.add_time("verification", time.perf_counter() - started)
-        stats.set_count("verified_objects", verified)
-
-        return MIOResult(
-            algorithm="bigrid-temporal",
-            r=r,
-            winner=winner,
-            score=score,
-            phases=stats.phases,
-            counters=stats.counters,
-            memory_bytes=index.memory_bytes(),
+        ctx = QueryContext(
+            collection=self.collection, r=r, backend=self.backend, engine=self
         )
+        ctx.delta = delta
+        return _TEMPORAL_PIPELINE.run(ctx)
 
 
 class _TemporalBIGrid:
@@ -200,7 +254,7 @@ class _TemporalBIGrid:
                     pending = large_grid.adjacent_union_int(key) & ~confirmed
                     if not pending:
                         continue
-                    remaining = _bits_of(pending)
+                    remaining = bits_of(pending)
                     point = obj.points[point_index]
                     timestamp = obj.timestamps[point_index]
                     for cell in large_grid.cells[key].neighbor_cells:

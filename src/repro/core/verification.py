@@ -175,7 +175,7 @@ def _exact_score(
                 if labeler is not None:
                     labeler.mark_verify_skippable(oid, (point_index,))
                 continue
-            remaining = _bits_of(pending)
+            remaining = bits_of(pending)
             point = points[point_index]
             for cell in large_grid.cells[key].neighbor_cells:
                 for candidate_oid in remaining.intersection(cell.postings):
@@ -194,8 +194,15 @@ def _exact_score(
     return confirmed.bit_count() - 1
 
 
-def _bits_of(value: int) -> set:
-    """Set-bit positions of a big int, as a mutable set."""
+def bits_of(value: int) -> set:
+    """Set-bit positions of a big-int bitset, as a mutable set.
+
+    The engines keep interaction sets as arbitrary-precision ints (bit
+    ``i`` set means object ``i``); this is the public bridge from that
+    packed form to an iterable, mutable id set.  Verification loops --
+    serial, parallel, and temporal alike -- use it to walk the objects
+    still pending confirmation, discarding ids as pairs are settled.
+    """
     bits = set()
     while value:
         low = value & -value

@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.objects import ObjectCollection
-from repro.datasets.trajectories import _zipf_partition
+from repro.datasets.trajectories import zipf_partition
 
 
 def make_powerlaw(
@@ -44,7 +44,7 @@ def make_powerlaw(
     if n < 1 or mean_points < 2:
         raise ValueError("need n >= 1 objects and mean_points >= 2")
     rng = np.random.default_rng(seed)
-    sizes = _zipf_partition(rng, n, n_communities, zipf_exponent)
+    sizes = zipf_partition(rng, n, n_communities, zipf_exponent)
     centers = rng.uniform(0.0, extent, size=(len(sizes), 3))
     n_bridges = int(bridge_fraction * n)
     point_arrays = []

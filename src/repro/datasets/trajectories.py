@@ -47,7 +47,7 @@ def make_trajectories(
     if n < 1 or points_per_trajectory < 2:
         raise ValueError("need n >= 1 objects and points_per_trajectory >= 2")
     rng = np.random.default_rng(seed)
-    flock_sizes = _zipf_partition(rng, n, n_flocks, zipf_exponent)
+    flock_sizes = zipf_partition(rng, n, n_flocks, zipf_exponent)
     point_arrays = []
     timestamp_arrays = []
     for flock_size in flock_sizes:
@@ -93,13 +93,19 @@ def _leader_path(
     return positions
 
 
-def _zipf_partition(
+def zipf_partition(
     rng: np.random.Generator,
     total: int,
     n_parts: int,
     exponent: float,
 ) -> np.ndarray:
-    """Split ``total`` into ``n_parts`` Zipf-proportional positive sizes."""
+    """Split ``total`` into ``n_parts`` Zipf-proportional positive sizes.
+
+    Shared by every skewed generator (flock sizes here, community sizes
+    in :mod:`repro.datasets.powerlaw`): sizes follow ``1/rank**exponent``,
+    each part gets at least 1, and rounding remainders are folded back so
+    the sizes always sum to ``total`` exactly.
+    """
     n_parts = min(n_parts, total)
     weights = 1.0 / np.arange(1, n_parts + 1, dtype=np.float64) ** exponent
     sizes = np.maximum(1, np.floor(total * weights / weights.sum()).astype(np.int64))

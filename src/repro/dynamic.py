@@ -11,8 +11,10 @@ bookkeeping that keeps every paper guarantee intact:
   (labels are positional, so reusing them across a re-compaction would be
   unsound — this is the cracking-style trade-off the related work
   discusses: reuse helps only while the data holds still);
-* queries lazily re-compact and then run the unmodified exact engine, so
-  answers are always exact for the current contents.
+* queries lazily re-compact and then run the unmodified exact engine --
+  and therefore the shared phase orchestrator
+  (:data:`~repro.core.pipeline.SERIAL_PIPELINE`) every other variant
+  uses -- so answers are always exact for the current contents.
 
 This is deliberately a thin adoption layer, not an incremental index:
 maintaining BIGrid incrementally is pointless because the index is built

@@ -1,80 +1,115 @@
 """Parallel MIO query processing (Section IV).
 
-:class:`ParallelMIOEngine` runs the four BIGrid phases under the paper's
-partitioning schemes on a :class:`~repro.parallel.executor.SimulatedExecutor`
-(DESIGN.md §5): answers are exact and identical to the serial engine, and
-each phase reports the simulated makespan of its schedule.  The reported
-``phases`` are therefore *parallel* times, while ``extra["serial:..."]``
-keeps the serial cost of the same work so speedups can be computed.
+:class:`ParallelMIOEngine` is the shared
+:class:`~repro.core.pipeline.PhasePipeline` configured with the parallel
+stage set (:mod:`repro.parallel.stages`): the same four BIGrid phases,
+run under the paper's partitioning schemes on a
+:class:`~repro.parallel.executor.SimulatedExecutor` (DESIGN.md §5).
+Answers are exact and identical to the serial engine, and each phase
+reports the simulated makespan of its schedule.  The reported ``phases``
+are therefore *parallel* times, while ``extra["serial:..."]`` keeps the
+serial cost of the same work so speedups can be computed.
 
-Phase parallelization mirrors the paper exactly:
+Two pipeline configuration differences from the serial engine, both
+preserved from the pre-pipeline behavior: fault trips and deadline
+checkpoints run *inside* each phase span (``trip_inside_span``), so an
+injected fault is recorded on the span before the fallback sees it; and
+the root span's duration is overridden with the simulated total
+(``makespan_root``), so the trace tree sums like ``result.total_time``.
 
-* grid mapping   -- points of each object hash-partitioned (barrier per
-  object; parallelizing the object loop is NP-complete, Theorem 3);
-* lower-bounding -- ``lb_strategy="greedy-d"`` (objects by ``|o_i.L|``,
-  no synchronization) or ``"hash-p"`` (per-object key split with local
-  bitsets merged at each object barrier);
-* upper-bounding -- ``ub_strategy="greedy-p"`` (Eq. (3) cost-based key
-  groups with single-core key ownership) or ``"greedy-d"`` (naive split
-  of objects by point count);
-* verification   -- best-first candidate loop with each candidate's point
-  groups split across cores and local bitsets merged per candidate.
+Serial fallback is the pipeline's ``fallback`` hook: when a partition
+task dies past its retry budget (or a fault fires in an unretried inline
+loop), the query re-runs through the serial stage set -- a mid-run
+stage-implementation swap, not a separate code path.  The serial engine
+opens its own ``query`` span (a child of ours) and observes itself as
+``engine="serial"``, so the fallback is visible in both the trace and
+the metrics without double counting.
 
 Labels produced by earlier *serial* queries are consumed (the Fig. 9
 "BIGrid-label" configuration); the parallel engine never writes labels,
 because labeling requires the canonical serial access order.
 
-:func:`parallel_nested_loop` and :func:`parallel_simple_grid` are the
-paper's parallel renditions of the competitors: NL parallelizes the inner
-partner loop (a barrier per outer object), SG hash-partitions the
-per-object scoring tasks after a serial grid build.
+:func:`parallel_nested_loop` and :func:`parallel_simple_grid` (re-exported
+from :mod:`repro.parallel.competitors`) are the paper's parallel
+renditions of the competitors.
 """
 
 from __future__ import annotations
 
-import math
-import time
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
-import numpy as np
-
-from repro import faults
-from repro.bitset.factory import resolve_backend
 from repro.core.engine import MIOEngine
-from repro.core.geometry import point_sets_interact
-from repro.core.labels import LabelStore, PointLabels, labels_match_collection
+from repro.core.labels import LabelStore
 from repro.core.objects import ObjectCollection
+from repro.core.pipeline import PhasePipeline, QueryContext
 from repro.core.query import MIOResult
-from repro.core.verification import _bits_of
 from repro.errors import InjectedFault, InvalidQueryError, PartitionTaskError
-from repro.baselines.simple_grid import SimpleGridAlgorithm
-from repro.grid.bigrid import BIGrid
 from repro.grid.cache import LargeKeyCache
-from repro.grid.keys import compute_keys, large_cell_width, small_cell_width
-from repro.grid.large_grid import LargeGrid
-from repro.grid.small_grid import SmallGrid
 from repro.obs import metrics as obs_metrics
-from repro.obs.recorders import observe_query
 from repro.obs.trace import ensure_tracer
-from repro.parallel.executor import CoreReport, SimulatedExecutor, gc_paused
-from repro.parallel.partitioning import hash_partition, static_block_partition
-from repro.resilience import Deadline, checkpoint
-from repro.parallel.plans import (
-    plan_lower_bounding_greedy_d,
-    plan_upper_bounding_greedy_d,
-    plan_upper_bounding_greedy_p,
-    plan_verification_chunks,
+from repro.parallel.competitors import (  # noqa: F401  (public re-exports)
+    parallel_nested_loop,
+    parallel_simple_grid,
 )
+from repro.parallel.executor import SimulatedExecutor
+from repro.parallel.stages import PARALLEL_STAGES
+from repro.resilience import Deadline
 
 LB_STRATEGIES = ("greedy-d", "hash-p")
 UB_STRATEGIES = ("greedy-p", "greedy-d")
 
 
-def _kth_largest(values: List[int], k: int) -> int:
-    """The k-th highest value (0 when fewer than k values exist)."""
-    if k > len(values):
-        return 0
-    return sorted(values, reverse=True)[k - 1]
+def _fall_back_to_serial(ctx: QueryContext, cause: Exception, root) -> MIOResult:
+    """Swap in the serial stage set mid-run (the pipeline's fallback hook).
+
+    A partition task died past its retry budget (or a fault fired in an
+    unretried inline loop).  The answer is still computable: degrade to
+    the serial engine rather than crash the query.
+    """
+    engine = ctx.engine
+    if not engine.serial_fallback:
+        raise cause
+    obs_metrics.counter(
+        "repro_serial_fallbacks_total",
+        "Parallel queries that degraded to the serial engine",
+    ).inc()
+    root.set_attributes(serial_fallback=True)
+    serial = MIOEngine(
+        engine.collection,
+        backend=engine.backend,
+        label_store=engine.label_store,
+        label_reuse=engine.label_reuse,
+        key_cache=engine.key_cache,
+    )
+    if ctx.want_ranking:
+        result = serial.query_topk(
+            ctx.r, ctx.k, deadline=ctx.deadline, tracer=ctx.tracer
+        )
+    else:
+        result = serial.query(ctx.r, deadline=ctx.deadline, tracer=ctx.tracer)
+    result.counters["serial_fallback"] = 1
+    if isinstance(cause, PartitionTaskError) and cause.task_index is not None:
+        result.counters["failed_task_index"] = cause.task_index
+    result.notes["serial_fallback"] = f"parallel execution failed: {cause}"
+    return result
+
+
+#: The one orchestrator, configured for simulated-parallel execution.
+PARALLEL_PIPELINE = PhasePipeline(
+    PARALLEL_STAGES,
+    engine="parallel",
+    root_attributes=lambda ctx: {
+        "cores": ctx.engine.cores,
+        "r": ctx.r,
+        "k": ctx.k,
+        "backend": ctx.backend,
+    },
+    trip_inside_span=True,
+    derive_phases=False,
+    makespan_root=True,
+    fallback=_fall_back_to_serial,
+    fallback_errors=(PartitionTaskError, InjectedFault),
+)
 
 
 class ParallelMIOEngine:
@@ -154,6 +189,10 @@ class ParallelMIOEngine:
             deadline = Deadline.from_timeout_ms(timeout_ms)
         return self._run(r, k=k, want_ranking=True, deadline=deadline, tracer=tracer)
 
+    # ------------------------------------------------------------------
+    # Pipeline entry
+    # ------------------------------------------------------------------
+
     def _run(
         self,
         r: float,
@@ -165,616 +204,17 @@ class ParallelMIOEngine:
         if r <= 0:
             raise InvalidQueryError("the distance threshold r must be positive")
         tracer = ensure_tracer(tracer if tracer is not None else self.tracer)
-        with tracer.span(
-            "query", engine="parallel", cores=self.cores, r=r, k=k, backend=self.backend
-        ) as root:
-            try:
-                result = self._run_parallel(r, k, want_ranking, deadline, tracer)
-            except (PartitionTaskError, InjectedFault) as cause:
-                # A partition task died past its retry budget (or a fault
-                # fired in an unretried inline loop).  The answer is still
-                # computable: degrade to the serial engine rather than
-                # crash the query.
-                if not self.serial_fallback:
-                    raise
-                obs_metrics.counter(
-                    "repro_serial_fallbacks_total",
-                    "Parallel queries that degraded to the serial engine",
-                ).inc()
-                root.set_attributes(serial_fallback=True)
-                result = self._serial_fallback(r, k, want_ranking, deadline, cause, tracer)
-            root.set_attributes(winner=result.winner, score=result.score, exact=result.exact)
-            # Phase spans carry simulated makespans; override the root's
-            # wall-clock too so the tree sums like ``result.total_time``.
-            root.set_duration(result.total_time)
-        return result
-
-    def _serial_fallback(
-        self,
-        r: float,
-        k: int,
-        want_ranking: bool,
-        deadline: Optional[Deadline],
-        cause: Exception,
-        tracer=None,
-    ) -> MIOResult:
-        engine = MIOEngine(
-            self.collection,
+        ctx = QueryContext(
+            collection=self.collection,
+            r=r,
+            k=k,
+            want_ranking=want_ranking,
+            deadline=deadline,
+            tracer=tracer,
             backend=self.backend,
             label_store=self.label_store,
             label_reuse=self.label_reuse,
             key_cache=self.key_cache,
+            engine=self,
         )
-        # The serial engine opens its own "query" span (a child of ours) and
-        # observes itself as engine="serial", so the fallback is visible in
-        # both the trace and the metrics without double counting.
-        result = engine._run(r, k=k, want_ranking=want_ranking, deadline=deadline, tracer=tracer)
-        result.counters["serial_fallback"] = 1
-        if isinstance(cause, PartitionTaskError) and cause.task_index is not None:
-            result.counters["failed_task_index"] = cause.task_index
-        result.notes["serial_fallback"] = f"parallel execution failed: {cause}"
-        return result
-
-    def _finish_phase_span(self, tracer, span, report: CoreReport) -> None:
-        """Seal a parallel phase span so the trace matches ``phases``.
-
-        The span's wall-clock measurement is replaced by the simulated
-        makespan, and one child span per simulated core carries that core's
-        charged load, so ``repro explain`` shows the schedule's balance.
-        """
-        span.set_duration(report.makespan)
-        span.set_attributes(
-            serial_seconds=report.serial_seconds,
-            barrier_seconds=report.barrier_seconds,
-            merge_seconds=report.merge_seconds,
-        )
-        # Barrier-accumulated phases charge rounds, not cores: their
-        # per-core vector is all zeros and would only add noise.
-        if tracer.enabled and any(report.per_core_seconds):
-            for core, seconds in enumerate(report.per_core_seconds):
-                tracer.record(f"core-{core}", seconds, core=core)
-
-    def _run_parallel(
-        self,
-        r: float,
-        k: int,
-        want_ranking: bool,
-        deadline: Optional[Deadline] = None,
-        tracer=None,
-    ) -> MIOResult:
-        tracer = ensure_tracer(tracer)
-        labels = None
-        if self.label_store is not None:
-            labels = self.label_store.get(math.ceil(r))
-            if labels is not None and not labels_match_collection(labels, self.collection):
-                labels = None  # stale store: relabeling is the serial engine's job
-
-        with tracer.span("grid_mapping") as span:
-            faults.trip("grid_mapping")
-            checkpoint(deadline, "grid_mapping")
-            bigrid, map_report = self._parallel_grid_mapping(r, labels)
-            self._finish_phase_span(tracer, span, map_report)
-            span.set_attributes(
-                small_cells=len(bigrid.small_grid.cells),
-                large_cells=len(bigrid.large_grid.cells),
-                mapped_points=bigrid.mapped_points,
-            )
-        with tracer.span("lower_bounding", strategy=self.lb_strategy) as span:
-            faults.trip("lower_bounding")
-            checkpoint(deadline, "lower_bounding")
-            lower_values, lower_bitsets, lb_report = self._parallel_lower_bounding(bigrid, labels)
-            threshold = _kth_largest(lower_values, k)
-            self._finish_phase_span(tracer, span, lb_report)
-            span.set_attributes(tau_max_low=threshold)
-        with tracer.span("upper_bounding", strategy=self.ub_strategy) as span:
-            faults.trip("upper_bounding")
-            checkpoint(deadline, "upper_bounding")
-            candidates, ub_report = self._parallel_upper_bounding(bigrid, threshold, labels)
-            self._finish_phase_span(tracer, span, ub_report)
-            span.set_attributes(candidates=len(candidates))
-        with tracer.span("verification") as span:
-            faults.trip("verification")
-            checkpoint(deadline, "verification")
-            ranking, verify_report, verified = self._parallel_verification(
-                bigrid, candidates, r, lower_bitsets, labels, k
-            )
-            self._finish_phase_span(tracer, span, verify_report)
-            span.set_attributes(settled=verified)
-        winner, score = ranking[0] if ranking else (candidates[0][1] if candidates else 0, 0)
-
-        phases = {
-            "grid_mapping": map_report.makespan,
-            "lower_bounding": lb_report.makespan,
-            "upper_bounding": ub_report.makespan,
-            "verification": verify_report.makespan,
-        }
-        extra: Dict[str, float] = {
-            "serial:grid_mapping": map_report.serial_seconds,
-            "serial:lower_bounding": lb_report.serial_seconds,
-            "serial:upper_bounding": ub_report.serial_seconds,
-            "serial:verification": verify_report.serial_seconds,
-        }
-        result = MIOResult(
-            algorithm="bigrid-parallel" if labels is None else "bigrid-label-parallel",
-            r=r,
-            winner=winner,
-            score=score,
-            topk=ranking if want_ranking else None,
-            phases=phases,
-            counters={
-                "cores": self.cores,
-                "candidates": len(candidates),
-                "verified_objects": verified,
-            },
-            memory_bytes=bigrid.memory_bytes(),
-            extra=extra,
-        )
-        observe_query(result, engine="parallel")
-        return result
-
-    # ------------------------------------------------------------------
-    # PARALLEL-GRID-MAPPING: hash-partition each object's points
-    # ------------------------------------------------------------------
-
-    def _parallel_grid_mapping(
-        self, r: float, labels: Optional[PointLabels]
-    ) -> Tuple[BIGrid, CoreReport]:
-        collection = self.collection
-        bitset_cls, _ = resolve_backend(self.backend)
-        dimension = collection.dimension
-        s_width = small_cell_width(r, dimension)
-        l_width = large_cell_width(r)
-        small_grid = SmallGrid(s_width, dimension, bitset_cls)
-        large_grid = LargeGrid(l_width, dimension, bitset_cls)
-        key_lists = [set() for _ in range(collection.n)]
-        object_groups: List[Dict] = [{} for _ in range(collection.n)]
-
-        report = CoreReport(self.cores)
-        with gc_paused():
-            self._map_objects(
-                collection, labels, small_grid, large_grid, key_lists,
-                object_groups, s_width, l_width, report, r,
-            )
-        mapped_points = sum(
-            len(points)
-            for groups in object_groups
-            for points in groups.values()
-        )
-
-        bigrid = BIGrid(
-            collection, r, small_grid, large_grid, key_lists, object_groups, mapped_points
-        )
-        return bigrid, report
-
-    def _map_objects(
-        self, collection, labels, small_grid, large_grid, key_lists,
-        object_groups, s_width, l_width, report, r,
-    ) -> None:
-        keys_provider = (
-            self.key_cache.provider(collection, math.ceil(r))
-            if self.key_cache is not None
-            else None
-        )
-        for obj in collection:
-            oid = obj.oid
-            if labels is not None:
-                indices = np.nonzero(labels.grid_mask(oid))[0]
-            else:
-                indices = np.arange(obj.num_points)
-            if len(indices) == 0:
-                continue
-            small_keys = compute_keys(obj.points[indices], s_width)
-            if keys_provider is not None:
-                large_keys = keys_provider(oid, indices)
-            else:
-                large_keys = compute_keys(obj.points[indices], l_width)
-            chunks = hash_partition(len(indices), self.cores)
-            round_max = 0.0
-            for core, chunk in enumerate(chunks):
-                if not chunk:
-                    continue
-                # Inline (unretried) chunk: an injected failure here is
-                # handled by the engine-level serial fallback.
-                faults.trip("partition_task", detail=("grid_mapping", oid, core))
-                started = time.perf_counter()
-                for position in chunk:
-                    point_index = int(indices[position])
-                    reached, first_oid = small_grid.add_point(oid, small_keys[position])
-                    if reached == 2:
-                        key_lists[first_oid].add(small_keys[position])
-                        key_lists[oid].add(small_keys[position])
-                    elif reached is not None and reached > 2:
-                        key_lists[oid].add(small_keys[position])
-                    large_key = large_keys[position]
-                    large_grid.add_point(oid, large_key, point_index)
-                    object_groups[oid].setdefault(large_key, []).append(point_index)
-                elapsed = time.perf_counter() - started
-                report.serial_seconds += elapsed
-                round_max = max(round_max, elapsed)
-            report.barrier_seconds += round_max
-
-    # ------------------------------------------------------------------
-    # PARALLEL-LOWER-BOUNDING
-    # ------------------------------------------------------------------
-
-    def _parallel_lower_bounding(
-        self, bigrid: BIGrid, labels: Optional[PointLabels]
-    ) -> Tuple[List[int], Optional[List], CoreReport]:
-        keep_bitsets = labels is not None
-        if self.lb_strategy == "greedy-d":
-            return self._lower_bounding_greedy_d(bigrid, keep_bitsets)
-        return self._lower_bounding_hash_p(bigrid, keep_bitsets)
-
-    def _lower_bounding_greedy_d(
-        self, bigrid: BIGrid, keep_bitsets: bool
-    ) -> Tuple[List[int], Optional[List], CoreReport]:
-        """Objects split by ``|o_i.L|``; no synchronization, no merge."""
-        plan = plan_lower_bounding_greedy_d(bigrid, self.cores)
-        small_grid = bigrid.small_grid
-        bitset_cls = small_grid.bitset_cls
-        values = [0] * bigrid.collection.n
-        bitsets = [None] * bigrid.collection.n if keep_bitsets else None
-
-        def make_task(oid: int):
-            def task() -> None:
-                union = 0
-                for key in bigrid.key_lists[oid]:
-                    union |= small_grid.cells[key].bitset.to_int()
-                cardinality = union.bit_count()
-                values[oid] = cardinality - 1 if cardinality else 0
-                if bitsets is not None and cardinality:
-                    bitsets[oid] = union
-            return task
-
-        tasks = [make_task(oid) for oid in range(bigrid.collection.n)]
-        _, report = self.executor.run(tasks, plan.assignment)
-        return values, bitsets, report
-
-    def _lower_bounding_hash_p(
-        self, bigrid: BIGrid, keep_bitsets: bool
-    ) -> Tuple[List[int], Optional[List], CoreReport]:
-        """Per-object key split with per-core local bitsets merged at a barrier."""
-        small_grid = bigrid.small_grid
-        bitset_cls = small_grid.bitset_cls
-        values = [0] * bigrid.collection.n
-        bitsets = [None] * bigrid.collection.n if keep_bitsets else None
-        report = CoreReport(self.cores)
-
-        with gc_paused():
-            self._hash_p_rounds(bigrid, values, bitsets, report)
-        return values, bitsets, report
-
-    def _hash_p_rounds(self, bigrid, values, bitsets, report) -> None:
-        small_grid = bigrid.small_grid
-        for oid in range(bigrid.collection.n):
-            keys = list(bigrid.key_lists[oid])
-            if not keys:
-                continue
-            chunks = hash_partition(len(keys), self.cores)
-            locals_: List = [None] * self.cores
-            round_max = 0.0
-            for core, chunk in enumerate(chunks):
-                if not chunk:
-                    continue
-                faults.trip("partition_task", detail=("lower_bounding", oid, core))
-                started = time.perf_counter()
-                union = 0
-                for position in chunk:
-                    union |= small_grid.cells[keys[position]].bitset.to_int()
-                locals_[core] = union
-                elapsed = time.perf_counter() - started
-                report.serial_seconds += elapsed
-                round_max = max(round_max, elapsed)
-            started = time.perf_counter()
-            merged = 0
-            for local in locals_:
-                if local is not None:
-                    merged |= local
-            cardinality = merged.bit_count()
-            values[oid] = cardinality - 1 if cardinality else 0
-            if bitsets is not None and cardinality:
-                bitsets[oid] = merged
-            merge_elapsed = time.perf_counter() - started
-            report.serial_seconds += merge_elapsed
-            report.barrier_seconds += round_max + merge_elapsed
-
-    # ------------------------------------------------------------------
-    # PARALLEL-UPPER-BOUNDING
-    # ------------------------------------------------------------------
-
-    def _parallel_upper_bounding(
-        self, bigrid: BIGrid, tau_max: int, labels: Optional[PointLabels]
-    ) -> Tuple[List[Tuple[int, int]], CoreReport]:
-        if self.ub_strategy == "greedy-p":
-            report, unions = self._upper_bounding_greedy_p(bigrid, labels)
-        else:
-            report, unions = self._upper_bounding_greedy_d(bigrid, labels)
-        # Pruning + best-first sort stay serial (their cost is dominated by
-        # the bounding work); charge them to the barrier.
-        started = time.perf_counter()
-        candidates = []
-        for oid, union in enumerate(unions):
-            cardinality = union.bit_count() if union is not None else 0
-            upper = cardinality - 1 if cardinality else 0
-            if upper >= tau_max:
-                candidates.append((upper, oid))
-        candidates.sort(key=lambda entry: (-entry[0], entry[1]))
-        elapsed = time.perf_counter() - started
-        report.barrier_seconds += elapsed
-        report.serial_seconds += elapsed
-        return candidates, report
-
-    def _upper_bounding_greedy_p(
-        self, bigrid: BIGrid, labels: Optional[PointLabels]
-    ) -> Tuple[CoreReport, List]:
-        """Eq. (3) cost-based group assignment with key ownership."""
-        plan = plan_upper_bounding_greedy_p(
-            bigrid, self.cores, include_labeling=labels is None
-        )
-        large_grid = bigrid.large_grid
-        #: local_unions[core][oid] -- per-core partial unions (big ints).
-        local_unions: List[Dict[int, int]] = [{} for _ in range(self.cores)]
-
-        masks = (
-            [labels.upper_mask(oid).tolist() for oid in range(bigrid.collection.n)]
-            if labels is not None
-            else None
-        )
-
-        def make_task(core: int, oid: int, key, point_indices):
-            def task() -> None:
-                if masks is not None and not any(masks[oid][i] for i in point_indices):
-                    return
-                adjacent = large_grid.adjacent_union_int(key)
-                local_unions[core][oid] = local_unions[core].get(oid, 0) | adjacent
-            return task
-
-        tasks = [
-            make_task(core, oid, key, points)
-            for (oid, key, points), core in zip(plan.tasks, plan.assignment)
-        ]
-        unions: List = [None] * bigrid.collection.n
-
-        def merge() -> None:
-            for core in range(self.cores):
-                for oid, partial in local_unions[core].items():
-                    if unions[oid] is None:
-                        unions[oid] = partial
-                    else:
-                        unions[oid] |= partial
-
-        _, report = self.executor.run(tasks, plan.assignment, merge=merge)
-        return report, unions
-
-    def _upper_bounding_greedy_d(
-        self, bigrid: BIGrid, labels: Optional[PointLabels]
-    ) -> Tuple[CoreReport, List]:
-        """Naive competitor: whole objects assigned by point count."""
-        plan = plan_upper_bounding_greedy_d(bigrid, self.cores)
-        large_grid = bigrid.large_grid
-        unions: List = [None] * bigrid.collection.n
-
-        def make_task(oid: int):
-            def task() -> None:
-                union = 0
-                mask = labels.upper_mask(oid).tolist() if labels is not None else None
-                for key, point_indices in bigrid.object_groups[oid].items():
-                    if mask is not None and not any(mask[i] for i in point_indices):
-                        continue
-                    union |= large_grid.adjacent_union_int(key)
-                if union:
-                    unions[oid] = union
-            return task
-
-        tasks = [make_task(oid) for oid in range(bigrid.collection.n)]
-        _, report = self.executor.run(tasks, plan.assignment)
-        return report, unions
-
-    # ------------------------------------------------------------------
-    # PARALLEL-VERIFICATION
-    # ------------------------------------------------------------------
-
-    def _parallel_verification(
-        self,
-        bigrid: BIGrid,
-        candidates: List[Tuple[int, int]],
-        r: float,
-        lower_bitsets: Optional[List],
-        labels: Optional[PointLabels],
-        k: int = 1,
-    ) -> Tuple[List[Tuple[int, int]], CoreReport, int]:
-        collection = bigrid.collection
-        large_grid = bigrid.large_grid
-        r_squared = r * r
-        report = CoreReport(self.cores)
-        best_oid, best_score = -1, -1
-        verified = 0
-        use_verify_mask = labels is not None and (
-            self.label_reuse == "paper" or labels.r == r
-        )
-
-        with gc_paused():
-            ranking, verified = self._verify_rounds(
-                bigrid, candidates, r_squared, lower_bitsets, labels,
-                use_verify_mask, report, k,
-            )
-        return ranking, report, verified
-
-    def _verify_rounds(
-        self, bigrid, candidates, r_squared, lower_bitsets, labels,
-        use_verify_mask, report, k,
-    ):
-        from heapq import heappush, heappushpop
-
-        best_heap: List[Tuple[int, int]] = []  # (score, -oid), min-heap
-        verified = 0
-        for upper, oid in candidates:
-            threshold = best_heap[0][0] if len(best_heap) >= k else -1
-            if upper <= threshold:
-                break
-            verified += 1
-            groups = bigrid.object_groups[oid]
-            if use_verify_mask:
-                mask = labels.verify_mask(oid).tolist()
-                groups = {
-                    key: [p for p in points if mask[p]]
-                    for key, points in groups.items()
-                }
-                groups = {key: points for key, points in groups.items() if points}
-            per_core = plan_verification_chunks(groups, self.cores)
-            seed = lower_bitsets[oid] if lower_bitsets is not None else None
-            locals_: List = [None] * self.cores
-            round_max = 0.0
-            for core, chunk_list in enumerate(per_core):
-                if not chunk_list:
-                    continue
-                faults.trip("partition_task", detail=("verification", oid, core))
-                started = time.perf_counter()
-                locals_[core] = self._verify_chunks(
-                    bigrid, oid, chunk_list, r_squared, seed
-                )
-                elapsed = time.perf_counter() - started
-                report.serial_seconds += elapsed
-                round_max = max(round_max, elapsed)
-            started = time.perf_counter()
-            merged = (seed or 0) | (1 << oid)
-            for local in locals_:
-                if local is not None:
-                    merged |= local
-            score = merged.bit_count() - 1
-            merge_elapsed = time.perf_counter() - started
-            report.serial_seconds += merge_elapsed
-            report.barrier_seconds += round_max + merge_elapsed
-            entry = (score, -oid)
-            if len(best_heap) < k:
-                heappush(best_heap, entry)
-            elif entry > best_heap[0]:
-                heappushpop(best_heap, entry)
-        ranking = sorted(
-            ((-neg_oid, score) for score, neg_oid in best_heap),
-            key=lambda item: (-item[1], item[0]),
-        )
-        return ranking, verified
-
-    def _verify_chunks(
-        self,
-        bigrid: BIGrid,
-        oid: int,
-        chunk_list,
-        r_squared: float,
-        seed,
-    ) -> int:
-        """One core's share of a candidate's exact-score computation."""
-        collection = bigrid.collection
-        large_grid = bigrid.large_grid
-        points = collection[oid].points
-        confirmed = (seed or 0) | (1 << oid)
-        for key, point_indices in chunk_list:
-            for point_index in point_indices:
-                pending = large_grid.adjacent_union_int(key) & ~confirmed
-                if not pending:
-                    continue
-                remaining = _bits_of(pending)
-                point = points[point_index]
-                for cell in large_grid.cells[key].neighbor_cells:
-                    for candidate_oid in remaining.intersection(cell.postings):
-                        candidate_points = cell.posting_points(
-                            candidate_oid, collection[candidate_oid].points
-                        )
-                        diff = candidate_points - point
-                        if np.einsum("ij,ij->i", diff, diff).min() <= r_squared:
-                            confirmed |= 1 << candidate_oid
-                            remaining.discard(candidate_oid)
-                    if not remaining:
-                        break
-        return confirmed
-
-
-# ----------------------------------------------------------------------
-# Parallel competitors (Fig. 9)
-# ----------------------------------------------------------------------
-
-
-def parallel_nested_loop(collection: ObjectCollection, r: float, cores: int) -> MIOResult:
-    """Parallel NL: the partner loop of each outer object is partitioned.
-
-    As in the paper, there is a barrier per outer object and per-pair costs
-    are unpredictable, so load balance -- and therefore speedup -- is poor.
-    """
-    if r <= 0:
-        raise InvalidQueryError("the distance threshold r must be positive")
-    tau = [0] * collection.n
-    report = CoreReport(cores)
-    _nl_rounds(collection, r, cores, tau, report)
-    winner = max(range(len(tau)), key=lambda oid: (tau[oid], -oid))
-    return MIOResult(
-        algorithm="nl-parallel",
-        r=r,
-        winner=winner,
-        score=tau[winner],
-        phases={"scan": report.makespan},
-        counters={"cores": cores},
-        extra={"serial:scan": report.serial_seconds},
-    )
-
-
-def _nl_rounds(collection, r, cores, tau, report) -> None:
-    with gc_paused():
-        for i in range(collection.n):
-            partners = list(range(i + 1, collection.n))
-            if not partners:
-                continue
-            # OpenMP-style static blocks: contiguous partner ranges whose
-            # costs correlate spatially, the load-balance failure the paper
-            # observes for parallel NL.
-            chunks = static_block_partition(len(partners), cores)
-            points_i = collection[i].points
-            round_max = 0.0
-            for chunk in chunks:
-                if not chunk:
-                    continue
-                started = time.perf_counter()
-                for position in chunk:
-                    j = partners[position]
-                    if point_sets_interact(points_i, collection[j].points, r):
-                        tau[i] += 1
-                        tau[j] += 1
-                elapsed = time.perf_counter() - started
-                report.serial_seconds += elapsed
-                round_max = max(round_max, elapsed)
-            report.barrier_seconds += round_max
-
-
-def parallel_simple_grid(collection: ObjectCollection, r: float, cores: int) -> MIOResult:
-    """Parallel SG: serial grid build, hash-partitioned per-object scoring.
-
-    Hash partitioning balances only when tasks cost alike; skewed data makes
-    per-object scoring costs vary widely, which is what limits SG's scaling
-    in Fig. 9.
-    """
-    algorithm = SimpleGridAlgorithm(collection)
-    build_seconds = algorithm.build(r)
-    tau = [0] * collection.n
-    chunks = hash_partition(collection.n, cores)
-    report = CoreReport(cores)
-    with gc_paused():
-        for core, chunk in enumerate(chunks):
-            started = time.perf_counter()
-            for oid in chunk:
-                tau[oid] = algorithm._score(oid, r)
-            elapsed = time.perf_counter() - started
-            report.per_core_seconds[core] += elapsed
-            report.serial_seconds += elapsed
-    report.barrier_seconds += build_seconds
-    report.serial_seconds += build_seconds
-    winner = max(range(len(tau)), key=lambda oid: (tau[oid], -oid))
-    return MIOResult(
-        algorithm="sg-parallel",
-        r=r,
-        winner=winner,
-        score=tau[winner],
-        phases={"build_and_scoring": report.makespan},
-        counters={"cores": cores},
-        memory_bytes=algorithm.memory_bytes(),
-        extra={"serial:build_and_scoring": report.serial_seconds},
-    )
+        return PARALLEL_PIPELINE.run(ctx)

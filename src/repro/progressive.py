@@ -15,8 +15,10 @@ exposes it that way:
 * Consumers stop whenever the gap is good enough (or their time budget
   runs out); running to exhaustion reproduces the exact answer.
 
-Everything is built from the public phase functions; no engine internals
-are duplicated.
+The filter phases run through the shared orchestrator's filter prefix
+(:data:`~repro.core.pipeline.FILTER_PIPELINE` -- the serial engine's own
+grid-mapping/bounding stages); only the one-candidate-at-a-time
+verification loop is this module's own.
 """
 
 from __future__ import annotations
@@ -24,12 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from repro.core.lower_bound import compute_lower_bounds
 from repro.core.objects import ObjectCollection
-from repro.core.upper_bound import compute_upper_bounds
+from repro.core.pipeline import FILTER_PIPELINE, QueryContext
 from repro.core.verification import verify_candidates
 from repro.errors import InvalidQueryError
-from repro.grid.bigrid import BIGrid
 from repro.resilience import Deadline
 
 
@@ -80,10 +80,10 @@ def query_progressive(
         raise InvalidQueryError("the distance threshold r must be positive")
     if deadline is None:
         deadline = Deadline.from_timeout_ms(timeout_ms)
-    bigrid = BIGrid.build(collection, r, backend=backend, deadline=deadline)
-    lower = compute_lower_bounds(bigrid, deadline=deadline)
-    upper = compute_upper_bounds(bigrid, tau_max_low=lower.tau_max, deadline=deadline)
-    candidates = upper.candidates
+    ctx = FILTER_PIPELINE.execute(
+        QueryContext(collection=collection, r=r, deadline=deadline, backend=backend)
+    )
+    bigrid, lower, candidates = ctx.bigrid, ctx.lower, ctx.upper.candidates
 
     # The best lower bound is already attained by some object; use it as
     # the provisional answer before any verification.

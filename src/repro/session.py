@@ -45,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from repro.core.engine import MIOEngine
 from repro.core.labels import LabelStore
+from repro.core.pipeline import run_grouped_sweep
 from repro.core.lower_bound import LowerBoundCache
 from repro.core.objects import ObjectCollection
 from repro.core.query import MIOResult
@@ -300,42 +301,45 @@ class QuerySession:
         normalized = [_normalize(spec) for spec in requests]
         if not normalized:
             return []
-        order = sorted(
-            range(len(normalized)),
-            key=lambda i: (normalized[i].ceiling(), -normalized[i].r, i),
-        )
         tracer = ensure_tracer(self.tracer)
         logger = get_logger()
         batch_id = new_id("batch")
-        results: List[Optional[MIOResult]] = [None] * len(normalized)
-        with tracer.span("batch", batch_id=batch_id, size=len(normalized)):
-            for index in order:
-                request = normalized[index]
-                query_id = new_id("query")
-                with tracer.span(
-                    "request",
+
+        def run_request(index: int) -> MIOResult:
+            request = normalized[index]
+            query_id = new_id("query")
+            with tracer.span(
+                "request",
+                batch_id=batch_id,
+                query_id=query_id,
+                request_index=index,
+                r=request.r,
+                k=request.k,
+            ):
+                result = self._execute(request, catch_timeout=True)
+            if logger.enabled:
+                logger.log(
+                    "query",
                     batch_id=batch_id,
                     query_id=query_id,
                     request_index=index,
                     r=request.r,
                     k=request.k,
-                ):
-                    result = self._execute(request, catch_timeout=True)
-                results[index] = result
-                if logger.enabled:
-                    logger.log(
-                        "query",
-                        batch_id=batch_id,
-                        query_id=query_id,
-                        request_index=index,
-                        r=request.r,
-                        k=request.k,
-                        algorithm=result.algorithm,
-                        winner=result.winner,
-                        score=result.score,
-                        exact=result.exact,
-                        seconds=result.total_time,
-                    )
+                    algorithm=result.algorithm,
+                    winner=result.winner,
+                    score=result.score,
+                    exact=result.exact,
+                    seconds=result.total_time,
+                )
+            return result
+
+        with tracer.span("batch", batch_id=batch_id, size=len(normalized)):
+            # The pipeline's shared ceil(r)-grouped sweep (the same planner
+            # MIOEngine.query_batch uses): the stable sort keeps submission
+            # order within equal (ceiling, r) groups.
+            results = run_grouped_sweep(
+                [request.r for request in normalized], run_request
+            )
         self.counters["batches"] += 1
         obs_metrics.counter(
             "repro_batches_total", "Batched query_many calls completed"

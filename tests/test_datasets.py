@@ -20,7 +20,7 @@ from repro.datasets import (
 )
 from repro.datasets.io import export_csv, import_csv
 from repro.datasets.stats import interaction_density
-from repro.datasets.trajectories import _zipf_partition
+from repro.datasets.trajectories import zipf_partition
 
 
 class TestNeurons:
@@ -92,20 +92,20 @@ class TestTrajectories:
 class TestZipfPartition:
     def test_sums_to_total(self):
         rng = np.random.default_rng(0)
-        sizes = _zipf_partition(rng, 100, 7, 1.5)
+        sizes = zipf_partition(rng, 100, 7, 1.5)
         assert int(sizes.sum()) == 100
         assert all(size >= 1 for size in sizes)
 
     def test_more_parts_than_total(self):
         rng = np.random.default_rng(0)
-        sizes = _zipf_partition(rng, 3, 10, 1.5)
+        sizes = zipf_partition(rng, 3, 10, 1.5)
         assert int(sizes.sum()) == 3
         assert len(sizes) == 3
 
     def test_skew_increases_with_exponent(self):
         rng = np.random.default_rng(0)
-        flat = _zipf_partition(rng, 1000, 10, 0.2)
-        skewed = _zipf_partition(np.random.default_rng(0), 1000, 10, 2.5)
+        flat = zipf_partition(rng, 1000, 10, 0.2)
+        skewed = zipf_partition(np.random.default_rng(0), 1000, 10, 2.5)
         assert max(skewed) > max(flat)
 
 

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.engine import MIOEngine, _kth_largest
+from repro.core.engine import MIOEngine
+from repro.core.pipeline import kth_largest
 from repro.datasets import make_neurons, make_powerlaw, make_trajectories
 
 from conftest import oracle_scores, random_collection
@@ -121,12 +122,12 @@ class TestResultMetadata:
 
 class TestKthLargest:
     def test_basic(self):
-        assert _kth_largest([5, 1, 3], 1) == 5
-        assert _kth_largest([5, 1, 3], 2) == 3
-        assert _kth_largest([5, 1, 3], 3) == 1
+        assert kth_largest([5, 1, 3], 1) == 5
+        assert kth_largest([5, 1, 3], 2) == 3
+        assert kth_largest([5, 1, 3], 3) == 1
 
     def test_k_beyond_length(self):
-        assert _kth_largest([5, 1], 5) == 0
+        assert kth_largest([5, 1], 5) == 0
 
 
 class TestFloatBoundaryRegression:
