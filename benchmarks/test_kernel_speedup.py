@@ -1,0 +1,127 @@
+"""Compute-kernel speedup: vectorized ``numpy`` vs the ``python`` oracle.
+
+The kernel layer (:mod:`repro.kernels`) promises the same answers with
+vectorized phase computations.  This bench runs paired BIGrid queries —
+identical dataset, r, and bitset backend, only the kernel differs — on
+figure workloads (the Fig. 5/6 datasets at the paper's default r, full
+scale and the Fig. 6 s=0.5 sampling point) and records per-phase plus
+end-to-end ratios in ``results/BENCH_kernel_speedup.json``.
+
+Acceptance gates: both kernels must return identical answers and
+counters, numpy must win end-to-end on every workload here, and the best
+workload must clear a 3x end-to-end speedup.
+"""
+
+import json
+
+from repro.bench.harness import run_algorithm
+from repro.bench.reporting import format_table
+from repro.datasets import sample_collection
+from repro.kernels import numpy_kernel_available
+
+import pytest
+
+from conftest import DEFAULT_R, RESULTS_DIR, best_of
+
+#: (label, dataset, Fig. 6 sampling rate) — all at the paper's default r.
+WORKLOADS = [
+    ("neuron-2", "neuron-2", 1.0),
+    ("neuron-2 s=0.5", "neuron-2", 0.5),
+    ("neuron s=0.5", "neuron", 0.5),
+]
+
+#: The flagship claim: at least one figure workload runs >= 3x faster
+#: end to end under the numpy kernel.
+TARGET_SPEEDUP = 3.0
+
+
+@pytest.mark.skipif(
+    not numpy_kernel_available(), reason="numpy kernel unavailable here"
+)
+def test_kernel_speedup(datasets, report, benchmark):
+    points = []
+
+    def measure():
+        rows = []
+        for label, dataset, rate in WORKLOADS:
+            collection = datasets[dataset]
+            if rate < 1.0:
+                collection = sample_collection(collection, rate, seed=17)
+            records = {}
+            for kernel in ("python", "numpy"):
+                best = None
+
+                def run_once(kernel=kernel, collection=collection):
+                    return run_algorithm(
+                        "bigrid", collection, DEFAULT_R, dataset=dataset,
+                        kernel=kernel,
+                    )
+
+                for _ in range(5):
+                    record = run_once()
+                    if best is None or record.seconds < best.seconds:
+                        best = record
+                records[kernel] = best
+            rows.append((label, records["python"], records["numpy"]))
+        return rows
+
+    rows = benchmark.pedantic(lambda: best_of(lambda: measure(), repeats=1),
+                              rounds=1, iterations=1)
+
+    table_rows = []
+    for label, py_record, np_record in rows:
+        # Same answer, same work: the kernels differ only in wall-clock.
+        assert (py_record.winner, py_record.score) == (
+            np_record.winner, np_record.score,
+        ), label
+        assert py_record.counters == np_record.counters, label
+        assert py_record.memory_bytes == np_record.memory_bytes, label
+
+        ratio = py_record.seconds / np_record.seconds
+        phase_ratios = {
+            phase: round(seconds / np_record.phases[phase], 4)
+            if np_record.phases.get(phase) else None
+            for phase, seconds in py_record.phases.items()
+        }
+        points.append({
+            "workload": label,
+            "r": DEFAULT_R,
+            "python_seconds": round(py_record.seconds, 6),
+            "numpy_seconds": round(np_record.seconds, 6),
+            "speedup": round(ratio, 4),
+            "python_phases": {k: round(v, 6) for k, v in py_record.phases.items()},
+            "numpy_phases": {k: round(v, 6) for k, v in np_record.phases.items()},
+            "phase_speedups": phase_ratios,
+            "winner": py_record.winner,
+            "score": py_record.score,
+        })
+        table_rows.append([
+            label,
+            round(py_record.seconds, 3),
+            round(np_record.seconds, 3),
+            round(ratio, 2),
+        ])
+
+    speedups = [point["speedup"] for point in points]
+    # numpy must never lose on these workloads, and the best one must
+    # clear the headline end-to-end target.
+    assert min(speedups) > 1.0
+    assert max(speedups) >= TARGET_SPEEDUP
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "BENCH_kernel_speedup.json", "w") as handle:
+        json.dump(
+            {"bench": "kernel_speedup", "r": DEFAULT_R, "target": TARGET_SPEEDUP,
+             "workloads": points},
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+
+    report(
+        "kernel_speedup",
+        format_table(
+            ["workload", "python [s]", "numpy [s]", "speedup"],
+            table_rows,
+            title="BIGrid end-to-end: numpy kernel vs python reference",
+        ),
+    )

@@ -82,8 +82,14 @@ def run_algorithm(
     backend: str = "ewah",
     session: Optional[QuerySession] = None,
     tracer=None,
+    kernel: str = "python",
 ) -> BenchRecord:
     """Run one algorithm once and record everything the figures need.
+
+    ``kernel`` selects the compute backend of the BIGrid algorithms
+    (``"python"``, ``"numpy"``, or ``"auto"``; see :mod:`repro.kernels`),
+    so every figure benchmark can report both backends.  Baselines ignore
+    it.
 
     ``bigrid-label`` needs a ``label_store`` that already holds labels for
     ``ceil(r)`` (run ``bigrid`` with the same store first); this mirrors the
@@ -103,7 +109,7 @@ def run_algorithm(
     """
     tracer = ensure_tracer(tracer)
     with tracer.span("algorithm", algorithm=name, dataset=dataset, r=r) as span:
-        result = _dispatch(name, collection, r, k, label_store, backend, session)
+        result = _dispatch(name, collection, r, k, label_store, backend, session, kernel)
         if tracer.enabled:
             for phase, seconds in result.phases.items():
                 tracer.record(phase, seconds)
@@ -130,6 +136,7 @@ def _dispatch(
     label_store: Optional[LabelStore],
     backend: str,
     session: Optional[QuerySession] = None,
+    kernel: str = "python",
 ) -> MIOResult:
     if name == "bigrid-session":
         if session is None:
@@ -149,12 +156,16 @@ def _dispatch(
     if name == "sg":
         return SimpleGridAlgorithm(collection).query(r)
     if name == "bigrid":
-        engine = MIOEngine(collection, backend=backend, label_store=label_store)
+        engine = MIOEngine(
+            collection, backend=backend, label_store=label_store, kernel=kernel
+        )
         return engine.query(r) if k == 1 else engine.query_topk(r, k)
     if name == "bigrid-label":
         if label_store is None:
             raise ValueError("bigrid-label requires a label_store with labels present")
-        engine = MIOEngine(collection, backend=backend, label_store=label_store)
+        engine = MIOEngine(
+            collection, backend=backend, label_store=label_store, kernel=kernel
+        )
         result = engine.query(r) if k == 1 else engine.query_topk(r, k)
         if result.algorithm != "bigrid-label":
             raise RuntimeError(

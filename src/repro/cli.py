@@ -60,6 +60,7 @@ from repro.datasets import (
     save_collection,
 )
 from repro.errors import CorruptDataError, ReproError
+from repro.kernels import KERNEL_NAMES
 from repro.parallel import ParallelMIOEngine
 from repro.session import QuerySession
 
@@ -87,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--delta", type=float, default=None,
                        help="temporal threshold (needs timestamps)")
     query.add_argument("--backend", default="ewah", choices=("ewah", "plain"))
+    query.add_argument("--kernel", default="auto", choices=KERNEL_NAMES,
+                       help="compute kernel for the query phases; auto "
+                            "feature-detects numpy (default: auto)")
     query.add_argument("--sample", type=float, default=1.0,
                        help="object sampling rate in (0, 1]")
     query.add_argument("--timeout-ms", type=float, default=None,
@@ -108,6 +112,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--algorithms", nargs="+",
                          default=["nl", "sg", "bigrid"],
                          help="subset of: nl nl-kdtree sg bigrid theoretical")
+    compare.add_argument("--kernel", default="auto", choices=KERNEL_NAMES,
+                         help="compute kernel for the BIGrid algorithms")
 
     batch = commands.add_parser(
         "batch", help="run a JSON workload through one query session"
@@ -118,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--backend", default=None,
                        choices=("ewah", "plain", "roaring"),
                        help="bitset backend (overrides the workload file)")
+    batch.add_argument("--kernel", default="auto", choices=KERNEL_NAMES,
+                       help="compute kernel for the query phases; auto "
+                            "feature-detects numpy (default: auto)")
     batch.add_argument("--cores", type=int, default=1,
                        help="simulated cores; >1 fans with-label queries out")
     batch.add_argument("--retries", type=int, default=2,
@@ -139,6 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--topk", type=int, default=1, help="return the k best objects")
     explain.add_argument("--backend", default="ewah",
                          choices=("ewah", "plain", "roaring"))
+    explain.add_argument("--kernel", default="auto", choices=KERNEL_NAMES,
+                         help="compute kernel for the query phases")
     explain.add_argument("--cores", type=int, default=1,
                          help="simulated cores; >1 uses the parallel engine")
 
@@ -193,10 +204,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if args.cores != 1:
             engine = ParallelMIOEngine(
                 collection, cores=args.cores, backend=args.backend,
-                retries=args.retries, tracer=tracer,
+                retries=args.retries, tracer=tracer, kernel=args.kernel,
             )
         else:
-            engine = MIOEngine(collection, backend=args.backend, tracer=tracer)
+            engine = MIOEngine(
+                collection, backend=args.backend, tracer=tracer, kernel=args.kernel
+            )
         if args.topk > 1:
             result = engine.query_topk(args.r, args.topk, timeout_ms=args.timeout_ms)
         else:
@@ -228,10 +241,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     tracer = Tracer()
     if args.cores != 1:
         engine = ParallelMIOEngine(
-            collection, cores=args.cores, backend=args.backend, tracer=tracer
+            collection, cores=args.cores, backend=args.backend, tracer=tracer,
+            kernel=args.kernel,
         )
     else:
-        engine = MIOEngine(collection, backend=args.backend, tracer=tracer)
+        engine = MIOEngine(
+            collection, backend=args.backend, tracer=tracer, kernel=args.kernel
+        )
     if args.topk > 1:
         result = engine.query_topk(args.r, args.topk)
     else:
@@ -254,7 +270,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     collection = load_collection(args.path)
     rows = []
     for name in args.algorithms:
-        record = run_algorithm(name, collection, args.r)
+        record = run_algorithm(name, collection, args.r, kernel=args.kernel)
         rows.append(
             [name, f"o_{record.winner}", record.score,
              round(record.seconds, 4), round(record.memory_kib, 1)]
@@ -304,7 +320,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else None
     session = QuerySession(
         collection, backend=backend, cores=args.cores, retries=args.retries,
-        tracer=tracer,
+        tracer=tracer, kernel=args.kernel,
     )
     log_stream = None
     try:

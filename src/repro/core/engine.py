@@ -34,6 +34,7 @@ from repro.core.query import MIOResult
 from repro.errors import InvalidQueryError
 from repro.grid.bigrid import BIGrid
 from repro.grid.cache import LargeKeyCache
+from repro.kernels import resolve_kernel
 from repro.obs.trace import ensure_tracer
 from repro.resilience import Deadline
 
@@ -72,6 +73,11 @@ class MIOEngine:
         the rendered trace and the reported times can never disagree.
         Without one, the engine runs shared no-op spans (one branch per
         instrumentation point) and times phases exactly as before.
+    kernel:
+        Compute-kernel backend for the hot phase loops: ``"python"``
+        (default -- the reference implementation), ``"numpy"`` (vectorized,
+        bit-exact with the reference), or ``"auto"`` (numpy when
+        available).  See :mod:`repro.kernels`.
 
     Both caches are positional (keyed by object ids); whoever injects them
     owns invalidation on collection change -- the engine itself never mixes
@@ -87,9 +93,11 @@ class MIOEngine:
         key_cache: Optional[LargeKeyCache] = None,
         lower_cache: Optional[LowerBoundCache] = None,
         tracer=None,
+        kernel: str = "python",
     ) -> None:
         if label_reuse not in ("safe", "paper"):
             raise InvalidQueryError('label_reuse must be "safe" or "paper"')
+        resolve_kernel(kernel)  # validate the name up front
         self.collection = collection
         self.backend = backend
         self.label_store = label_store
@@ -97,6 +105,7 @@ class MIOEngine:
         self.key_cache = key_cache
         self.lower_cache = lower_cache
         self.tracer = tracer
+        self.kernel = kernel
         #: The BIGrid of the most recent query (exposed for inspection).
         self.last_bigrid: Optional[BIGrid] = None
 
@@ -195,6 +204,7 @@ class MIOEngine:
             key_cache=self.key_cache,
             lower_cache=self.lower_cache,
             engine=self,
+            kernel=self.kernel,
         )
         return SERIAL_PIPELINE.run(ctx)
 

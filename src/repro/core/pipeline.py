@@ -49,11 +49,10 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro import faults
 from repro.bitset.factory import resolve_backend
 from repro.core.labels import PointLabels, labels_match_collection
-from repro.core.lower_bound import compute_lower_bounds
 from repro.core.query import MIOResult, PhaseStats
-from repro.core.upper_bound import compute_upper_bounds
 from repro.core.verification import verify_candidates
 from repro.grid.bigrid import BIGrid
+from repro.kernels import resolve_kernel
 from repro.obs import metrics as obs_metrics
 from repro.obs.recorders import observe_query
 from repro.obs.trace import NULL_TRACER, phase_durations
@@ -148,6 +147,7 @@ class QueryContext:
         key_cache=None,
         lower_cache=None,
         engine=None,
+        kernel=None,
     ) -> None:
         self.collection = collection
         self.r = r
@@ -168,6 +168,15 @@ class QueryContext:
         self.ceil_r = math.ceil(r)
         self.stats = PhaseStats()
         self.notes: Dict[str, str] = {}
+        #: Resolved compute backend for the hot phase loops; an explicit
+        #: ``"numpy"`` request degrades to the reference backend (noted)
+        #: when numpy cannot serve, mirroring the bitset chain.
+        self.kernel = resolve_kernel(kernel)
+        if (
+            isinstance(kernel, str)
+            and kernel not in ("auto", self.kernel.name)
+        ):
+            self.notes["degraded_kernel"] = f"{kernel}->{self.kernel.name}"
         self.extra: Dict[str, float] = {}
         # -- intermediates -------------------------------------------------
         self.labels: Optional[PointLabels] = None
@@ -296,7 +305,7 @@ class GridMappingStage(Stage):
     name = "grid_mapping"
 
     def run(self, ctx: QueryContext, span) -> None:
-        bigrid = BIGrid.build(
+        bigrid = ctx.kernel.build_bigrid(
             ctx.collection,
             ctx.r,
             backend=ctx.resolved_backend,
@@ -344,7 +353,7 @@ class LowerBoundingStage(Stage):
             ctx.stats.set_count("tau_max_low", lower.tau_max)
             span.set_attribute("cache_hit", True)
         else:
-            lower = compute_lower_bounds(
+            lower = ctx.kernel.lower_bounds(
                 ctx.bigrid,
                 keep_bitsets=ctx.labels is not None or ctx.lower_cache is not None,
                 stats=ctx.stats,
@@ -365,7 +374,7 @@ class UpperBoundingStage(Stage):
     name = "upper_bounding"
 
     def run(self, ctx: QueryContext, span) -> None:
-        upper = compute_upper_bounds(
+        upper = ctx.kernel.upper_bounds(
             ctx.bigrid,
             ctx.threshold,
             upper_masks=ctx.labels.upper_mask if ctx.labels is not None else None,
@@ -405,6 +414,7 @@ class VerificationStage(Stage):
             labeler=ctx.labeler,
             stats=ctx.stats,
             deadline=ctx.deadline,
+            kernel=ctx.kernel,
         )
         ctx.verification = verification
         ctx.stats.set_count("candidates_total", len(ctx.upper.candidates))

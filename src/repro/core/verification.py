@@ -74,6 +74,7 @@ def verify_candidates(
     labeler: Optional[PointLabels] = None,
     stats: Optional[PhaseStats] = None,
     deadline: Optional[Deadline] = None,
+    kernel=None,
 ) -> VerificationResult:
     """VERIFICATION(O_cand, r): exact scores, best-first, early stop.
 
@@ -84,6 +85,11 @@ def verify_candidates(
     between candidates and inside each candidate's point loop), the loop
     stops, partial work on the in-flight candidate is discarded, and the
     result reports ``timed_out=True`` with the candidates settled so far.
+
+    ``kernel`` (a :class:`repro.kernels.KernelBackend`) supplies the
+    distance primitive; None keeps the inline reference check.  Either way
+    the answer is identical — kernels may only change *how* the same
+    comparisons are evaluated (e.g. early-exit chunking per Corollary 1).
     """
     if k < 1:
         raise InvalidQueryError("k must be at least 1")
@@ -105,7 +111,7 @@ def verify_candidates(
         try:
             score = _exact_score(
                 bigrid, oid, r, initial_bitsets, verify_masks, labeler, counters,
-                deadline,
+                deadline, kernel,
             )
         except QueryTimeout:
             # The in-flight candidate's partial bitset is not an exact score;
@@ -144,6 +150,7 @@ def _exact_score(
     labeler: Optional[PointLabels],
     counters: _Counters,
     deadline: Optional[Deadline] = None,
+    kernel=None,
 ) -> int:
     """Compute ``tau(o_i)`` exactly (steps 2-3 of Section III-C)."""
     collection = bigrid.collection
@@ -184,8 +191,14 @@ def _exact_score(
                         candidate_oid, collection[candidate_oid].points
                     )
                     counters.distance_rows += len(candidate_points)
-                    diff = candidate_points - point
-                    if np.einsum("ij,ij->i", diff, diff).min() <= r_squared:
+                    if kernel is not None:
+                        hit = kernel.any_within(candidate_points, point, r_squared)
+                    else:
+                        diff = candidate_points - point
+                        hit = bool(
+                            np.einsum("ij,ij->i", diff, diff).min() <= r_squared
+                        )
+                    if hit:
                         confirmed |= 1 << candidate_oid
                         remaining.discard(candidate_oid)
                 if not remaining:
@@ -202,6 +215,11 @@ def bits_of(value: int) -> set:
     packed form to an iterable, mutable id set.  Verification loops --
     serial, parallel, and temporal alike -- use it to walk the objects
     still pending confirmation, discarding ids as pairs are settled.
+
+    Edge case: the empty bitset ``bits_of(0)`` is the empty set — a fresh,
+    mutable ``set()``, never a shared sentinel, so callers may ``add`` /
+    ``discard`` on it freely.  ``value`` must be non-negative (a negative
+    int is not a bitset; the two's-complement view would be infinite).
     """
     bits = set()
     while value:

@@ -104,8 +104,22 @@ def zipf_partition(
     Shared by every skewed generator (flock sizes here, community sizes
     in :mod:`repro.datasets.powerlaw`): sizes follow ``1/rank**exponent``,
     each part gets at least 1, and rounding remainders are folded back so
-    the sizes always sum to ``total`` exactly.
+    the sizes always sum to ``total`` exactly.  When ``total < n_parts``
+    the part count shrinks to ``total`` (every part must be positive).
+
+    Edge cases: ``total == 0`` returns an *empty* int64 array — the empty
+    partition is the only one whose parts are positive and sum to zero —
+    and any ``n_parts`` is then acceptable (it shrinks to zero parts).
+    A non-positive ``n_parts`` with ``total > 0`` raises ``ValueError``:
+    no zero-part split of a positive total exists.  ``total < 0`` raises
+    ``ValueError`` as well.
     """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if total > 0 and n_parts < 1:
+        raise ValueError(
+            f"cannot split a positive total into {n_parts} parts"
+        )
     n_parts = min(n_parts, total)
     weights = 1.0 / np.arange(1, n_parts + 1, dtype=np.float64) ** exponent
     sizes = np.maximum(1, np.floor(total * weights / weights.sum()).astype(np.int64))

@@ -1,0 +1,77 @@
+"""Pluggable compute kernels for the four query phases.
+
+``resolve_kernel`` maps a requested name to a :class:`KernelBackend`
+instance; every engine and the CLI funnel through it:
+
+* ``"python"`` — the reference backend, always available.
+* ``"numpy"`` — the vectorized backend; requires numpy >= 2.0
+  (``np.bitwise_count``).  Degrades to ``python`` when unavailable, the
+  same quiet-downgrade policy the bitset registry uses.
+* ``"auto"`` — ``numpy`` when available, else ``python``.
+
+Setting ``REPRO_KERNEL_DISABLE_NUMPY=1`` masks the numpy backend even when
+numpy is importable — CI uses it to pin the pure-python fallback path, and
+it doubles as an operator kill switch.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.errors import InvalidQueryError
+from repro.kernels.base import KernelBackend
+from repro.kernels.python_backend import PYTHON_KERNEL, PythonKernel
+
+__all__ = [
+    "DISABLE_ENV",
+    "KERNEL_NAMES",
+    "KernelBackend",
+    "PYTHON_KERNEL",
+    "PythonKernel",
+    "numpy_kernel_available",
+    "resolve_kernel",
+]
+
+#: Accepted ``kernel=`` / ``--kernel`` values.
+KERNEL_NAMES = ("python", "numpy", "auto")
+
+#: Environment kill switch: set to anything but ""/"0" to mask numpy.
+DISABLE_ENV = "REPRO_KERNEL_DISABLE_NUMPY"
+
+
+def numpy_kernel_available() -> bool:
+    """Whether the numpy backend can run here (import + feature detect)."""
+    if os.environ.get(DISABLE_ENV, "0") not in ("", "0"):
+        return False
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        return False
+    return hasattr(np, "bitwise_count")
+
+
+def resolve_kernel(kernel: Union[str, KernelBackend, None] = "auto") -> KernelBackend:
+    """The backend instance for a requested kernel name.
+
+    Accepts an already resolved instance (pass-through, so contexts can be
+    re-run), None (the library default: ``python``), or one of
+    :data:`KERNEL_NAMES`.  An explicit ``"numpy"`` request degrades to the
+    reference backend when numpy cannot serve — same-answer, slower — and
+    the caller's context records the degradation in its notes.
+    """
+    if isinstance(kernel, KernelBackend):
+        return kernel
+    if kernel is None:
+        return PYTHON_KERNEL
+    if kernel not in KERNEL_NAMES:
+        raise InvalidQueryError(
+            f"unknown kernel {kernel!r}; expected one of {', '.join(KERNEL_NAMES)}"
+        )
+    if kernel == "python":
+        return PYTHON_KERNEL
+    if not numpy_kernel_available():
+        return PYTHON_KERNEL
+    from repro.kernels.numpy_backend import NUMPY_KERNEL
+
+    return NUMPY_KERNEL

@@ -1,0 +1,92 @@
+"""The compute-kernel contract behind the four query phases.
+
+The phase pipeline (PR 4) gave every engine variant one seam per phase;
+this module names the *computational* half of that seam.  A
+:class:`KernelBackend` implements the hot inner loops of Algorithms 3-6
+— cell-key computation, BIGrid construction, lower-bound counting,
+adjacent-union upper bounding, and the squared-distance primitive of
+verification — while the stages keep owning orchestration (tracing,
+faults, deadlines, caches, labels).
+
+Backends are *interchangeable bit-for-bit*: for identical inputs every
+operation must produce identical keys, identical bound values, identical
+candidate sets, identical scores, and identical work counters.  The
+``python`` backend (:mod:`repro.kernels.python_backend`) is the reference
+oracle — it delegates to the original per-point implementations — and
+``tests/test_kernel_conformance.py`` holds every other backend to it on
+randomized workloads.
+
+Operations that a backend cannot accelerate for a given input (e.g. the
+label-producing upper-bounding pass, whose Labeling-1/2 bookkeeping
+depends on the serial scan order) must *delegate to the reference
+implementation*, never approximate it.  ``docs/kernels.md`` spells out
+the full contract and how to add a backend.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class KernelBackend:
+    """One implementation of the hot phase computations.
+
+    All methods mirror the reference signatures in ``repro.grid.bigrid``,
+    ``repro.core.lower_bound`` and ``repro.core.upper_bound``; see those
+    modules for parameter semantics.  Results must be bit-exact across
+    backends (see the module docstring).
+    """
+
+    #: Registry name (``"python"``, ``"numpy"``, ...).
+    name: str = "abstract"
+
+    def cell_keys(self, points: np.ndarray, width: float) -> List[tuple]:
+        """Cell keys ``floor(coordinate / width)`` for every point row."""
+        raise NotImplementedError
+
+    def build_bigrid(
+        self,
+        collection,
+        r: float,
+        backend: str = "ewah",
+        point_filter=None,
+        deadline=None,
+        large_keys_provider=None,
+    ):
+        """GRID-MAPPING (Algorithm 3): build the BIGrid for one query."""
+        raise NotImplementedError
+
+    def lower_bounds(
+        self,
+        bigrid,
+        keep_bitsets: bool = False,
+        stats=None,
+        deadline=None,
+    ):
+        """LOWER-BOUNDING (Algorithm 4) over the key lists ``o_i.L``."""
+        raise NotImplementedError
+
+    def upper_bounds(
+        self,
+        bigrid,
+        tau_max_low: int,
+        upper_masks=None,
+        labeler=None,
+        stats=None,
+        deadline=None,
+    ):
+        """UPPER-BOUNDING + pruning (Algorithm 5) over ``P_{i,K}``."""
+        raise NotImplementedError
+
+    def any_within(
+        self, candidate_points: np.ndarray, point: np.ndarray, r_squared: float
+    ) -> bool:
+        """Whether any row of ``candidate_points`` is within ``sqrt(r_squared)``
+        of ``point`` (the verification distance primitive, Corollary 1's
+        one-pair-suffices check)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

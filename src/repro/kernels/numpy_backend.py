@@ -1,0 +1,616 @@
+"""The ``numpy`` kernel: vectorized hot paths over packed bitset matrices.
+
+Where the reference backend walks points one at a time, this backend
+batches whole phases into array operations while producing *bit-identical*
+structures and results (the conformance suite enforces it):
+
+* **Grid mapping** floors every coordinate in one shot, encodes cell keys
+  as mixed-radix ``int64`` codes, and rebuilds both grids from sorted
+  ``(cell, object)`` pair groups — per-cell bitsets come from a packed
+  ``(cells, words)`` ``uint64`` matrix filled with ``np.bitwise_or.at``.
+* **Lower bounding** OR-reduces the packed small-grid rows of each
+  object's key list and popcounts with ``np.bitwise_count``.
+* **Upper bounding** computes *all* adjacent unions at once: one
+  ``searchsorted`` per neighbour offset aligns every cell with its
+  neighbour's packed row, so the ``3^d`` dictionary walks per cell
+  disappear.  Label-producing or label-consuming passes delegate to the
+  reference backend — Labeling-1/2 bookkeeping depends on the serial
+  scan order.
+* **Verification** keeps the best-first loop (it owns labeling and early
+  termination) but answers the distance primitive in early-exit chunks
+  per Corollary 1: one pair within ``r`` settles the object pair, so
+  later rows need never be touched.
+
+The packed matrices ride on private ``SmallGrid``/``LargeGrid``/``BIGrid``
+subclasses; every public structure (cells, postings, key lists, group
+maps, counters, memory accounting) matches the serial build exactly, so
+downstream phases — including the pure-python ones — run unchanged on a
+numpy-built grid.
+
+Requires numpy >= 2.0 (``np.bitwise_count``); the registry in
+:mod:`repro.kernels` feature-detects this and falls back to the python
+backend otherwise.  Inputs whose cell-index spread would overflow the
+``int64`` key encoding (astronomically sparse grids) fall back per call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bitset.factory import bitset_class
+from repro.core.lower_bound import LowerBoundResult
+from repro.core.upper_bound import Candidate, UpperBoundResult
+from repro.grid.bigrid import BIGrid
+from repro.grid.keys import (
+    cell_and_adjacent_keys,
+    compute_keys,
+    large_cell_width,
+    neighbor_offsets,
+    small_cell_width,
+)
+from repro.grid.large_grid import LargeGrid, LargeGridCell
+from repro.grid.small_grid import SmallGrid, SmallGridCell
+from repro.kernels.base import KernelBackend
+from repro.kernels.python_backend import PYTHON_KERNEL
+from repro.resilience import checkpoint
+
+#: Rows per block of the early-exit verification distance check.  Small
+#: enough that a first-block hit skips most of a long posting list, large
+#: enough that the loop overhead stays invisible for short ones.
+DISTANCE_CHUNK = 256
+
+
+def _row_int(words: np.ndarray) -> int:
+    """One packed uint64 row -> the big-int bitset value (word i at bit 64*i)."""
+    return int.from_bytes(words.astype("<u8", copy=False).tobytes(), "little")
+
+
+def _encode_keys(keys: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Mixed-radix ``int64`` codes for integer key rows, or None on overflow.
+
+    Axes are shifted to a 1-cell margin on both sides so that *neighbour*
+    keys (every per-axis offset in ``{-1, 0, +1}``) also encode uniquely:
+    ``code(key + offset) == code(key) + dot(offset, strides)`` for every
+    key present in ``keys``.  Returns ``(codes, strides)``; None when the
+    padded extent product would overflow (the caller falls back to the
+    reference implementation).
+    """
+    mins = keys.min(axis=0) - 1
+    shifted = keys - mins
+    extents = shifted.max(axis=0) + 2
+    total = 1
+    for extent in extents.tolist():
+        total *= int(extent)
+        if total >= 2 ** 62:
+            return None
+    strides = np.empty(keys.shape[1], dtype=np.int64)
+    accumulated = 1
+    for axis in range(keys.shape[1] - 1, -1, -1):
+        strides[axis] = accumulated
+        accumulated *= int(extents[axis])
+    return shifted @ strides, strides
+
+
+def _row_ints(packed: np.ndarray) -> List[int]:
+    """Big-int bitset values for every packed row, in bulk."""
+    if packed.shape[1] == 1:
+        return packed[:, 0].tolist()
+    stride = packed.shape[1] * 8
+    data = np.ascontiguousarray(packed.astype("<u8", copy=False)).tobytes()
+    return [
+        int.from_bytes(data[start : start + stride], "little")
+        for start in range(0, len(data), stride)
+    ]
+
+
+class LazyBitsetSmallCell(SmallGridCell):
+    """A small-grid cell whose compressed bitset is built on first access.
+
+    The vectorized phases never read per-cell bitsets (they reduce the
+    packed matrix instead), so eagerly compressing one bitset per cell
+    would be pure build-time overhead.  The big-int value is kept and the
+    compressed form materializes lazily — any consumer (serial phases on
+    a numpy-built grid, memory accounting, tests) sees the identical
+    bitset it would on a serial build.
+    """
+
+    __slots__ = ("_lazy_bitset",)
+
+    def __init__(self, bitset_cls, value: int) -> None:
+        # Deliberately skip the parent __init__: the ``bitset`` slot stays
+        # unset until first access (__getattr__ fills it).
+        self._lazy_bitset = (bitset_cls, value)
+        self.distinct_objects = 0
+        self.first_oid = -1
+        self.last_oid = -1
+
+    def __getattr__(self, name: str):
+        if name == "bitset":
+            bitset_cls, value = self._lazy_bitset
+            bitset = bitset_cls.from_int(value)
+            self.bitset = bitset
+            return bitset
+        raise AttributeError(name)
+
+
+class LazyBitsetLargeCell(LargeGridCell):
+    """A large-grid cell with the same lazy-bitset scheme (see above)."""
+
+    __slots__ = ("_lazy_bitset",)
+
+    def __init__(self, bitset_cls, value: int) -> None:
+        self._lazy_bitset = (bitset_cls, value)
+        self.postings = {}
+        self.last_oid = -1
+
+    def __getattr__(self, name: str):
+        if name == "bitset":
+            bitset_cls, value = self._lazy_bitset
+            bitset = bitset_cls.from_int(value)
+            self.bitset = bitset
+            return bitset
+        if name == "_point_cache":
+            cache: dict = {}
+            self._point_cache = cache
+            return cache
+        if name in ("adj_int", "_adj_bitset", "neighbor_cells"):
+            # Rarely-read slots default lazily too: one attribute write per
+            # cell saved at build time adds up over tens of thousands of
+            # cells, and most cells are never asked for their adjacency.
+            setattr(self, name, None)
+            return None
+        raise AttributeError(name)
+
+
+class PackedSmallGrid(SmallGrid):
+    """A :class:`SmallGrid` that also keeps its cells' bitsets as one
+    packed ``(cells, words)`` uint64 matrix for vectorized lower bounds."""
+
+    __slots__ = ("packed",)
+
+
+class PackedLargeGrid(LargeGrid):
+    """A :class:`LargeGrid` whose adjacent unions are computed in bulk.
+
+    ``adjacent_union_int`` keeps the base-class semantics; the only
+    difference is that when upper-bounding has already written every
+    ``adj_int`` from the packed adjacency matrix, the neighbour-cell list
+    (which the base class builds as a side effect of the lazy union) is
+    materialized on first demand instead.
+    """
+
+    __slots__ = ("packed", "codes", "strides", "row_cells")
+
+    def adjacent_union_int(self, key) -> int:
+        cell = self.cells[key]
+        if cell.adj_int is not None and cell.neighbor_cells is None:
+            cells = self.cells
+            cell.neighbor_cells = [
+                neighbor
+                for neighbor_key in cell_and_adjacent_keys(key)
+                if (neighbor := cells.get(neighbor_key)) is not None
+            ]
+        return super().adjacent_union_int(key)
+
+
+class PackedBIGrid(BIGrid):
+    """A :class:`BIGrid` carrying row indices into the packed matrices."""
+
+    __slots__ = ("shared_rows", "group_rows")
+
+
+class NumpyKernel(KernelBackend):
+    """Vectorized backend (numpy >= 2.0), bit-exact with the reference."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Cell keys
+    # ------------------------------------------------------------------
+
+    def cell_keys(self, points: np.ndarray, width: float) -> List[tuple]:
+        # Same floor-and-truncate as the reference (shared helper), so the
+        # keys agree bit-for-bit by construction.
+        return compute_keys(points, width)
+
+    # ------------------------------------------------------------------
+    # GRID-MAPPING (Algorithm 3), batched
+    # ------------------------------------------------------------------
+
+    def build_bigrid(
+        self,
+        collection,
+        r: float,
+        backend: str = "ewah",
+        point_filter=None,
+        deadline=None,
+        large_keys_provider=None,
+    ) -> BIGrid:
+        bitset_cls = bitset_class(backend)
+        dimension = collection.dimension
+        s_width = small_cell_width(r, dimension)
+        l_width = large_cell_width(r)
+        n = collection.n
+
+        point_blocks: List[np.ndarray] = []
+        index_blocks: List[np.ndarray] = []
+        oid_blocks: List[np.ndarray] = []
+        provided: Optional[List[np.ndarray]] = (
+            [] if large_keys_provider is not None else None
+        )
+        mapped_points = 0
+        for obj in collection:
+            checkpoint(deadline, "grid_mapping")
+            oid = obj.oid
+            indices = _selected(obj.num_points, point_filter, oid)
+            if len(indices) == 0:
+                continue
+            mapped_points += len(indices)
+            point_blocks.append(obj.points[indices])
+            index_blocks.append(indices.astype(np.int64))
+            oid_blocks.append(np.full(len(indices), oid, dtype=np.int64))
+            if provided is not None:
+                # The session's LargeKeyCache must see the same per-object
+                # calls (and hit/miss accounting) as the serial build.
+                provided.append(
+                    np.asarray(
+                        large_keys_provider(oid, indices), dtype=np.int64
+                    ).reshape(len(indices), dimension)
+                )
+
+        small_grid = PackedSmallGrid(s_width, dimension, bitset_cls)
+        large_grid = PackedLargeGrid(l_width, dimension, bitset_cls)
+        key_lists: List[set] = [set() for _ in range(n)]
+        object_groups: List[Dict] = [{} for _ in range(n)]
+        bigrid = PackedBIGrid(
+            collection, r, small_grid, large_grid, key_lists, object_groups,
+            mapped_points,
+        )
+        words = (n + 63) // 64 if n else 1
+        empty_rows = np.empty(0, dtype=np.int64)
+        bigrid.shared_rows = [empty_rows] * n
+        bigrid.group_rows = [empty_rows] * n
+
+        if mapped_points == 0:
+            small_grid.packed = np.zeros((0, words), dtype=np.uint64)
+            large_grid.packed = np.zeros((0, words), dtype=np.uint64)
+            large_grid.codes = np.empty(0, dtype=np.int64)
+            large_grid.strides = np.ones(dimension, dtype=np.int64)
+            large_grid.row_cells = []
+            return bigrid
+
+        points = np.concatenate(point_blocks)
+        point_idx = np.concatenate(index_blocks)
+        oids = np.concatenate(oid_blocks)
+        small_keys = np.floor(points / s_width).astype(np.int64)
+        large_keys = (
+            np.concatenate(provided)
+            if provided is not None
+            else np.floor(points / l_width).astype(np.int64)
+        )
+
+        encoded_small = _encode_keys(small_keys)
+        encoded_large = _encode_keys(large_keys)
+        if encoded_small is None or encoded_large is None:
+            # Cell-index spread too wide for int64 codes: astronomically
+            # sparse input, not worth a second encoding scheme.
+            return PYTHON_KERNEL.build_bigrid(
+                collection,
+                r,
+                backend=backend,
+                point_filter=point_filter,
+                deadline=deadline,
+                large_keys_provider=large_keys_provider,
+            )
+
+        checkpoint(deadline, "grid_mapping")
+        self._populate_small(
+            bigrid, small_keys, encoded_small[0], oids, bitset_cls, n, words
+        )
+        checkpoint(deadline, "grid_mapping")
+        self._populate_large(
+            bigrid, large_keys, encoded_large, oids, point_idx, bitset_cls, n,
+            words,
+        )
+        return bigrid
+
+    @staticmethod
+    def _populate_small(
+        bigrid: PackedBIGrid,
+        small_keys: np.ndarray,
+        codes: np.ndarray,
+        oids: np.ndarray,
+        bitset_cls,
+        n: int,
+        words: int,
+    ) -> None:
+        """Rebuild the small grid + key lists from sorted (cell, oid) pairs."""
+        small_grid = bigrid.small_grid
+        uniq_codes, first_pos, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        cell_count = len(uniq_codes)
+        cell_keys = [tuple(row) for row in small_keys[first_pos].tolist()]
+
+        # Distinct (cell, oid) pairs, sorted: cell-major, oid ascending —
+        # exactly the per-cell object order of the serial scan.
+        pair_codes = np.unique(inverse.astype(np.int64) * n + oids)
+        pair_cell = pair_codes // n
+        pair_oid = pair_codes % n
+
+        packed = np.zeros((cell_count, words), dtype=np.uint64)
+        np.bitwise_or.at(
+            packed,
+            (pair_cell, pair_oid >> 6),
+            np.left_shift(np.uint64(1), (pair_oid & 63).astype(np.uint64)),
+        )
+        small_grid.packed = packed
+
+        rows = np.arange(cell_count)
+        starts = np.searchsorted(pair_cell, rows)
+        ends = np.searchsorted(pair_cell, rows, side="right")
+        distinct = ends - starts
+        first_oids = pair_oid[starts]
+        last_oids = pair_oid[ends - 1]
+
+        cells = small_grid.cells
+        row_values = _row_ints(packed)
+        distinct_list = distinct.tolist()
+        first_list = first_oids.tolist()
+        last_list = last_oids.tolist()
+        for row in range(cell_count):
+            cell = LazyBitsetSmallCell(bitset_cls, row_values[row])
+            cell.distinct_objects = distinct_list[row]
+            cell.first_oid = first_list[row]
+            cell.last_oid = last_list[row]
+            cells[cell_keys[row]] = cell
+
+        # Key lists (o_i.L): every object present in a cell shared by >= 2
+        # distinct objects records that cell's key (Algorithm 3, lines 7-10).
+        shared_pair = (distinct >= 2)[pair_cell]
+        row_lists: List[List[int]] = [[] for _ in range(n)]
+        key_lists = bigrid.key_lists
+        for row, oid in zip(
+            pair_cell[shared_pair].tolist(), pair_oid[shared_pair].tolist()
+        ):
+            key_lists[oid].add(cell_keys[row])
+            row_lists[oid].append(row)
+        bigrid.shared_rows = [
+            np.asarray(rows_of, dtype=np.int64) for rows_of in row_lists
+        ]
+
+    @staticmethod
+    def _populate_large(
+        bigrid: PackedBIGrid,
+        large_keys: np.ndarray,
+        encoded: Tuple[np.ndarray, np.ndarray],
+        oids: np.ndarray,
+        point_idx: np.ndarray,
+        bitset_cls,
+        n: int,
+        words: int,
+    ) -> None:
+        """Rebuild the large grid (postings + per-object groups) from sorted
+        (cell, oid) segments; point order inside each posting list is the
+        scan order (the stable sort preserves it)."""
+        large_grid = bigrid.large_grid
+        codes, strides = encoded
+        uniq_codes, first_pos, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        cell_count = len(uniq_codes)
+        cell_keys = [tuple(row) for row in large_keys[first_pos].tolist()]
+
+        pair_codes = inverse.astype(np.int64) * n + oids
+        order = np.argsort(pair_codes, kind="stable")
+        sorted_pairs = pair_codes[order]
+        sorted_points = point_idx[order]
+        boundaries = np.flatnonzero(np.diff(sorted_pairs)) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+        segment_pair = sorted_pairs[starts]
+        segment_cell = segment_pair // n
+        segment_oid = segment_pair % n
+        #: Scan position of each (cell, oid) segment's first point — the
+        #: first-occurrence order object_groups must present groups in.
+        segment_first = order[starts]
+
+        packed = np.zeros((cell_count, words), dtype=np.uint64)
+        np.bitwise_or.at(
+            packed,
+            (segment_cell, segment_oid >> 6),
+            np.left_shift(np.uint64(1), (segment_oid & 63).astype(np.uint64)),
+        )
+
+        cells = large_grid.cells
+        row_cells: List[LargeGridCell] = []
+        row_values = _row_ints(packed)
+        for row in range(cell_count):
+            cell = LazyBitsetLargeCell(bitset_cls, row_values[row])
+            cells[cell_keys[row]] = cell
+            row_cells.append(cell)
+
+        groups_acc: List[List[Tuple[int, int, List[int]]]] = [[] for _ in range(n)]
+        cell_list = segment_cell.tolist()
+        oid_list = segment_oid.tolist()
+        first_list = segment_first.tolist()
+        points_list = sorted_points.tolist()
+        bounds = starts.tolist()
+        bounds.append(len(points_list))
+        for index in range(len(cell_list)):
+            row = cell_list[index]
+            oid = oid_list[index]
+            posting = points_list[bounds[index] : bounds[index + 1]]
+            cell = row_cells[row]
+            cell.postings[oid] = posting
+            cell.last_oid = oid  # segments arrive oid-ascending per cell
+            # postings and object_groups may share the list: both sides are
+            # read-only after construction, and equality is what the serial
+            # build guarantees.
+            groups_acc[oid].append((first_list[index], row, posting))
+
+        group_rows = bigrid.group_rows
+        object_groups = bigrid.object_groups
+        for oid in range(n):
+            accumulated = groups_acc[oid]
+            accumulated.sort(key=lambda item: item[0])
+            rows_of = np.empty(len(accumulated), dtype=np.int64)
+            groups = object_groups[oid]
+            for position, (_, row, posting) in enumerate(accumulated):
+                groups[cell_keys[row]] = posting
+                rows_of[position] = row
+            group_rows[oid] = rows_of
+
+        large_grid.packed = packed
+        large_grid.codes = uniq_codes
+        large_grid.strides = strides
+        large_grid.row_cells = row_cells
+
+    # ------------------------------------------------------------------
+    # LOWER-BOUNDING (Algorithm 4), packed
+    # ------------------------------------------------------------------
+
+    def lower_bounds(self, bigrid, keep_bitsets=False, stats=None, deadline=None):
+        if not isinstance(bigrid, PackedBIGrid):
+            return PYTHON_KERNEL.lower_bounds(
+                bigrid, keep_bitsets=keep_bitsets, stats=stats, deadline=deadline
+            )
+        packed = bigrid.small_grid.packed
+        bitset_cls = bigrid.small_grid.bitset_cls
+        values: List[int] = []
+        bitsets: Optional[List] = [] if keep_bitsets else None
+        tau_max = 0
+        or_operations = 0
+
+        for oid in range(bigrid.collection.n):
+            checkpoint(deadline, "lower_bounding")
+            rows = bigrid.shared_rows[oid]
+            if len(rows) == 0:
+                values.append(0)
+                if bitsets is not None:
+                    bitsets.append(None)
+                continue
+            or_operations += len(rows)
+            union_words = np.bitwise_or.reduce(packed[rows], axis=0)
+            cardinality = int(np.bitwise_count(union_words).sum())
+            lower = cardinality - 1 if cardinality else 0
+            values.append(lower)
+            if lower > tau_max:
+                tau_max = lower
+            if bitsets is not None:
+                bitsets.append(
+                    bitset_cls.from_int(_row_int(union_words)) if cardinality else None
+                )
+
+        if stats is not None:
+            stats.set_count("lower_or_operations", or_operations)
+            stats.set_count("tau_max_low", tau_max)
+        return LowerBoundResult(values=values, tau_max=tau_max, bitsets=bitsets)
+
+    # ------------------------------------------------------------------
+    # UPPER-BOUNDING (Algorithm 5), bulk adjacent unions
+    # ------------------------------------------------------------------
+
+    def upper_bounds(
+        self, bigrid, tau_max_low, upper_masks=None, labeler=None, stats=None,
+        deadline=None,
+    ):
+        if (
+            upper_masks is not None
+            or labeler is not None
+            or not isinstance(bigrid, PackedBIGrid)
+        ):
+            # Labeling-1/2 (and mask filtering) depend on the serial scan
+            # order; the contract demands delegation, not approximation.
+            return PYTHON_KERNEL.upper_bounds(
+                bigrid,
+                tau_max_low,
+                upper_masks=upper_masks,
+                labeler=labeler,
+                stats=stats,
+                deadline=deadline,
+            )
+        large_grid = bigrid.large_grid
+        packed = large_grid.packed
+        codes = large_grid.codes
+        cell_count = len(codes)
+        checkpoint(deadline, "upper_bounding")
+
+        # b_adj for every cell at once: one searchsorted per neighbour
+        # offset aligns each cell with that neighbour's packed row.
+        adjacency = packed.copy()
+        if cell_count:
+            strides = large_grid.strides
+            for offset in neighbor_offsets(bigrid.collection.dimension):
+                delta = int(np.asarray(offset, dtype=np.int64) @ strides)
+                targets = codes + delta
+                positions = np.searchsorted(codes, targets)
+                positions[positions == cell_count] = 0
+                hit = codes[positions] == targets
+                if hit.any():
+                    adjacency[hit] |= packed[positions[hit]]
+
+        fresh_unions = 0
+        for row, cell in enumerate(large_grid.row_cells):
+            if cell.adj_int is None:
+                cell.adj_int = _row_int(adjacency[row])
+                fresh_unions += 1
+        large_grid.adj_computed += fresh_unions
+
+        values: List[int] = []
+        candidates: List[Candidate] = []
+        groups_processed = 0
+        for oid in range(bigrid.collection.n):
+            checkpoint(deadline, "upper_bounding")
+            rows = bigrid.group_rows[oid]
+            groups_processed += len(rows)
+            if len(rows) == 0:
+                upper = 0
+            else:
+                union_words = np.bitwise_or.reduce(adjacency[rows], axis=0)
+                cardinality = int(np.bitwise_count(union_words).sum())
+                upper = cardinality - 1 if cardinality else 0
+            values.append(upper)
+            if upper >= tau_max_low:
+                candidates.append((upper, oid))
+
+        candidates.sort(key=lambda entry: (-entry[0], entry[1]))
+        if stats is not None:
+            stats.set_count("upper_groups_processed", groups_processed)
+            stats.set_count("adj_unions_computed", fresh_unions)
+            stats.set_count("candidates", len(candidates))
+            stats.set_count("pruned_objects", bigrid.collection.n - len(candidates))
+        return UpperBoundResult(candidates=candidates, values=values)
+
+    # ------------------------------------------------------------------
+    # Verification distance primitive, early-exit chunked (Corollary 1)
+    # ------------------------------------------------------------------
+
+    def any_within(
+        self, candidate_points: np.ndarray, point: np.ndarray, r_squared: float
+    ) -> bool:
+        total = candidate_points.shape[0]
+        if total <= DISTANCE_CHUNK:
+            diff = candidate_points - point
+            return bool(np.einsum("ij,ij->i", diff, diff).min() <= r_squared)
+        for start in range(0, total, DISTANCE_CHUNK):
+            block = candidate_points[start : start + DISTANCE_CHUNK] - point
+            if np.einsum("ij,ij->i", block, block).min() <= r_squared:
+                return True
+        return False
+
+
+def _selected(num_points: int, point_filter, oid: int) -> np.ndarray:
+    """Point indices surviving the label filter (Lemma 3), as in the
+    reference build."""
+    if point_filter is None:
+        return np.arange(num_points)
+    mask = point_filter(oid)
+    if mask is None:
+        return np.arange(num_points)
+    return np.nonzero(mask)[0]
+
+
+#: The shared vectorized instance.
+NUMPY_KERNEL = NumpyKernel()

@@ -45,6 +45,7 @@ from repro.core.pipeline import PhasePipeline, QueryContext
 from repro.core.query import MIOResult
 from repro.errors import InjectedFault, InvalidQueryError, PartitionTaskError
 from repro.grid.cache import LargeKeyCache
+from repro.kernels import resolve_kernel
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import ensure_tracer
 from repro.parallel.competitors import (  # noqa: F401  (public re-exports)
@@ -80,6 +81,7 @@ def _fall_back_to_serial(ctx: QueryContext, cause: Exception, root) -> MIOResult
         label_store=engine.label_store,
         label_reuse=engine.label_reuse,
         key_cache=engine.key_cache,
+        kernel=engine.kernel,
     )
     if ctx.want_ranking:
         result = serial.query_topk(
@@ -128,6 +130,7 @@ class ParallelMIOEngine:
         serial_fallback: bool = True,
         key_cache: Optional[LargeKeyCache] = None,
         tracer=None,
+        kernel: str = "python",
     ) -> None:
         if lb_strategy not in LB_STRATEGIES:
             raise InvalidQueryError(f"lb_strategy must be one of {LB_STRATEGIES}")
@@ -135,6 +138,7 @@ class ParallelMIOEngine:
             raise InvalidQueryError(f"ub_strategy must be one of {UB_STRATEGIES}")
         if label_reuse not in ("safe", "paper"):
             raise InvalidQueryError('label_reuse must be "safe" or "paper"')
+        resolve_kernel(kernel)  # validate the name up front
         self.collection = collection
         self.executor = SimulatedExecutor(cores, retries=retries)
         self.cores = cores
@@ -157,6 +161,10 @@ class ParallelMIOEngine:
         #: are the simulated makespans (matching ``phases``), with one
         #: child span per simulated core carrying that core's load.
         self.tracer = tracer
+        #: Compute-kernel backend (see :mod:`repro.kernels`); the parallel
+        #: stages use its key computation and distance primitive, and the
+        #: serial fallback engine inherits it.
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     # Public API
@@ -216,5 +224,6 @@ class ParallelMIOEngine:
             label_reuse=self.label_reuse,
             key_cache=self.key_cache,
             engine=self,
+            kernel=self.kernel,
         )
         return PARALLEL_PIPELINE.run(ctx)

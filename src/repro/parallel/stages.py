@@ -45,9 +45,10 @@ from repro.core.pipeline import QueryContext, Stage, kth_largest
 from repro.core.query import MIOResult
 from repro.core.verification import bits_of
 from repro.grid.bigrid import BIGrid
-from repro.grid.keys import compute_keys, large_cell_width, small_cell_width
+from repro.grid.keys import large_cell_width, small_cell_width
 from repro.grid.large_grid import LargeGrid
 from repro.grid.small_grid import SmallGrid
+from repro.kernels import resolve_kernel
 from repro.parallel.executor import CoreReport, gc_paused
 from repro.parallel.partitioning import hash_partition
 from repro.parallel.plans import (
@@ -266,6 +267,7 @@ def _map_objects(
         if engine.key_cache is not None
         else None
     )
+    kernel = resolve_kernel(engine.kernel)
     for obj in collection:
         oid = obj.oid
         if labels is not None:
@@ -274,11 +276,11 @@ def _map_objects(
             indices = np.arange(obj.num_points)
         if len(indices) == 0:
             continue
-        small_keys = compute_keys(obj.points[indices], s_width)
+        small_keys = kernel.cell_keys(obj.points[indices], s_width)
         if keys_provider is not None:
             large_keys = keys_provider(oid, indices)
         else:
-            large_keys = compute_keys(obj.points[indices], l_width)
+            large_keys = kernel.cell_keys(obj.points[indices], l_width)
         chunks = hash_partition(len(indices), engine.cores)
         round_max = 0.0
         for core, chunk in enumerate(chunks):
@@ -511,14 +513,14 @@ def _parallel_verification(
     with gc_paused():
         ranking, verified = _verify_rounds(
             engine, bigrid, candidates, r_squared, lower_bitsets, labels,
-            use_verify_mask, report, k,
+            use_verify_mask, report, k, resolve_kernel(engine.kernel),
         )
     return ranking, report, verified
 
 
 def _verify_rounds(
     engine, bigrid, candidates, r_squared, lower_bitsets, labels,
-    use_verify_mask, report, k,
+    use_verify_mask, report, k, kernel,
 ):
     from heapq import heappush, heappushpop
 
@@ -546,7 +548,9 @@ def _verify_rounds(
                 continue
             faults.trip("partition_task", detail=("verification", oid, core))
             started = time.perf_counter()
-            locals_[core] = _verify_chunks(bigrid, oid, chunk_list, r_squared, seed)
+            locals_[core] = _verify_chunks(
+                bigrid, oid, chunk_list, r_squared, seed, kernel
+            )
             elapsed = time.perf_counter() - started
             report.serial_seconds += elapsed
             round_max = max(round_max, elapsed)
@@ -577,6 +581,7 @@ def _verify_chunks(
     chunk_list,
     r_squared: float,
     seed,
+    kernel,
 ) -> int:
     """One core's share of a candidate's exact-score computation."""
     collection = bigrid.collection
@@ -595,8 +600,7 @@ def _verify_chunks(
                     candidate_points = cell.posting_points(
                         candidate_oid, collection[candidate_oid].points
                     )
-                    diff = candidate_points - point
-                    if np.einsum("ij,ij->i", diff, diff).min() <= r_squared:
+                    if kernel.any_within(candidate_points, point, r_squared):
                         confirmed |= 1 << candidate_oid
                         remaining.discard(candidate_oid)
                 if not remaining:

@@ -63,6 +63,7 @@ def query_progressive(
     max_verifications: Optional[int] = None,
     timeout_ms: Optional[float] = None,
     deadline: Optional[Deadline] = None,
+    kernel: str = "python",
 ) -> Iterator[ProgressiveState]:
     """Yield progressively tighter MIO answers for one query.
 
@@ -81,7 +82,10 @@ def query_progressive(
     if deadline is None:
         deadline = Deadline.from_timeout_ms(timeout_ms)
     ctx = FILTER_PIPELINE.execute(
-        QueryContext(collection=collection, r=r, deadline=deadline, backend=backend)
+        QueryContext(
+            collection=collection, r=r, deadline=deadline, backend=backend,
+            kernel=kernel,
+        )
     )
     bigrid, lower, candidates = ctx.bigrid, ctx.lower, ctx.upper.candidates
 
@@ -110,7 +114,9 @@ def query_progressive(
         if deadline is not None and deadline.expired():
             return  # the last yielded state stands as the anytime answer
         # Verify exactly one candidate by scoring it in isolation.
-        result = verify_candidates(bigrid, [(upper_bound, oid)], r, k=1)
+        result = verify_candidates(
+            bigrid, [(upper_bound, oid)], r, k=1, kernel=ctx.kernel
+        )
         score = result.ranking[0][1]
         verified += 1
         if score > best_score or (score == best_score and oid < best_oid):

@@ -52,6 +52,7 @@ from repro.core.query import MIOResult
 from repro.dynamic import DynamicMIO
 from repro.errors import InvalidQueryError, QueryTimeout
 from repro.grid.cache import LargeKeyCache
+from repro.kernels import resolve_kernel
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger, new_id
 from repro.obs.recorders import register_cache_metrics
@@ -143,13 +144,18 @@ class QuerySession:
         label_dir=None,
         lower_cache_entries: int = 8,
         tracer=None,
+        kernel: str = "python",
     ) -> None:
         if cores < 1:
             raise InvalidQueryError("cores must be at least 1")
+        resolve_kernel(kernel)  # validate the name up front
         self.backend = backend
         self.label_reuse = label_reuse
         self.cores = cores
         self.retries = retries
+        #: Compute-kernel backend forwarded to both engines
+        #: (see :mod:`repro.kernels`).
+        self.kernel = kernel
         #: Optional tracer shared with both engines: batched workloads
         #: produce one ``batch`` root span with a ``request`` child per
         #: query, each containing that query's full phase tree.
@@ -213,6 +219,7 @@ class QuerySession:
             key_cache=self.key_cache,
             lower_cache=self.lower_cache,
             tracer=self.tracer,
+            kernel=self.kernel,
         )
         self._parallel = (
             ParallelMIOEngine(
@@ -224,6 +231,7 @@ class QuerySession:
                 retries=self.retries,
                 key_cache=self.key_cache,
                 tracer=self.tracer,
+                kernel=self.kernel,
             )
             if self.cores > 1
             else None

@@ -1,0 +1,114 @@
+"""Golden-answer regression fixtures.
+
+These pin exact outputs of the temporal engine and the progressive query
+on fixed seeded inputs.  Unlike the oracle-backed property tests, a
+golden test fails on *any* behavioral drift — a different tie-break, a
+changed candidate order, one extra verification — even when the final
+answer stays correct, which is exactly the regression signal wanted for
+the paths the kernel layer now sits under.
+
+The frozen values were produced by the current implementation and
+cross-checked against ``conftest``'s brute-force oracles (the winners
+below attain the oracle's maximum score).  If an *intentional* behavior
+change lands (e.g. a new tie-break rule), regenerate the tuples and say
+so in the commit.
+"""
+
+import pytest
+
+from repro.core.temporal import TemporalMIOEngine
+from repro.progressive import query_progressive
+
+from conftest import random_collection
+
+# (r, delta) -> (winner, score) on random_collection(30, 6, seed=42, ts=True)
+TEMPORAL_GOLDEN = {
+    (1.5, 2.0): (23, 3),
+    (3.0, 5.0): (9, 8),
+    (6.0, 1.0): (23, 9),
+}
+
+# r -> [(best_oid, best_score, score_upper_bound, candidates_total,
+#        candidates_verified, is_final), ...] on
+# random_collection(25, 6, seed=7): the full anytime state sequence.
+PROGRESSIVE_GOLDEN = {
+    1.2: [
+        (15, 3, 8, 18, 0, False),
+        (2, 4, 8, 18, 1, False),
+        (4, 6, 8, 18, 2, False),
+        (4, 6, 8, 18, 3, False),
+        (10, 7, 8, 18, 4, False),
+        (10, 7, 8, 18, 5, False),
+        (10, 7, 8, 18, 6, False),
+        (10, 7, 8, 18, 7, False),
+        (10, 7, 8, 18, 8, False),
+        (10, 7, 8, 18, 9, False),
+        (24, 8, 8, 18, 10, True),
+    ],
+    3.0: [
+        (24, 8, 8, 13, 0, True),
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def temporal_collection():
+    return random_collection(n=30, mean_points=6, seed=42, with_timestamps=True)
+
+
+@pytest.fixture(scope="module")
+def progressive_collection():
+    return random_collection(n=25, mean_points=6, seed=7)
+
+
+class TestTemporalGolden:
+    @pytest.mark.parametrize("r,delta", sorted(TEMPORAL_GOLDEN))
+    def test_query_matches_golden(self, temporal_collection, r, delta):
+        result = TemporalMIOEngine(temporal_collection).query(r, delta)
+        assert result.algorithm == "bigrid-temporal"
+        assert (result.winner, result.score) == TEMPORAL_GOLDEN[(r, delta)]
+        assert result.exact
+
+    def test_tighter_delta_never_raises_score(self, temporal_collection):
+        # Sanity on the fixture itself: the golden scores are monotone in
+        # delta at fixed r (the temporal predicate only gets stricter).
+        engine = TemporalMIOEngine(temporal_collection)
+        loose = engine.query(3.0, 5.0)
+        tight = engine.query(3.0, 0.5)
+        assert tight.score <= loose.score
+
+
+class TestProgressiveGolden:
+    @pytest.mark.parametrize("r", sorted(PROGRESSIVE_GOLDEN))
+    def test_state_sequence_matches_golden(self, progressive_collection, r):
+        states = [
+            (
+                state.best_oid,
+                state.best_score,
+                state.score_upper_bound,
+                state.candidates_total,
+                state.candidates_verified,
+                state.is_final,
+            )
+            for state in query_progressive(progressive_collection, r)
+        ]
+        assert states == PROGRESSIVE_GOLDEN[r]
+
+    @pytest.mark.parametrize("r", sorted(PROGRESSIVE_GOLDEN))
+    def test_truncated_stream_is_golden_prefix(self, progressive_collection, r):
+        golden = PROGRESSIVE_GOLDEN[r]
+        limit = max(1, len(golden) - 2)
+        states = [
+            (
+                state.best_oid,
+                state.best_score,
+                state.score_upper_bound,
+                state.candidates_total,
+                state.candidates_verified,
+                state.is_final,
+            )
+            for state in query_progressive(
+                progressive_collection, r, max_verifications=limit - 1
+            )
+        ]
+        assert states == golden[:limit]

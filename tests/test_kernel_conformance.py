@@ -1,0 +1,305 @@
+"""Differential conformance harness for the compute-kernel layer.
+
+The kernel contract (:mod:`repro.kernels.base`, ``docs/kernels.md``) says
+backends are interchangeable *bit-for-bit*: identical cell keys, identical
+index structures, identical bound values and candidate sets, identical
+scores, identical work counters and memory accounting.  This suite holds
+the ``numpy`` backend to the ``python`` reference oracle on every
+operation and end to end through every engine, across dimensions, bitset
+backends, and traced/untraced pipelines.  Kernel-name resolution policy
+(``auto``, the env kill switch, quiet degradation) is covered at the end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import MIOEngine
+from repro.core.query import PhaseStats
+from repro.errors import InvalidQueryError
+from repro.kernels import (
+    DISABLE_ENV,
+    KERNEL_NAMES,
+    PYTHON_KERNEL,
+    KernelBackend,
+    numpy_kernel_available,
+    resolve_kernel,
+)
+from repro.obs.trace import Tracer
+from repro.parallel.engine import ParallelMIOEngine
+from repro.progressive import query_progressive
+from repro.session import QuerySession
+
+from conftest import random_collection
+from test_properties import collections, radii
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_kernel_available(), reason="numpy kernel unavailable here"
+)
+
+BITSET_BACKENDS = ("ewah", "plain", "roaring")
+
+
+def numpy_kernel():
+    from repro.kernels.numpy_backend import NUMPY_KERNEL
+
+    return NUMPY_KERNEL
+
+
+# ----------------------------------------------------------------------
+# Structural equality helpers
+# ----------------------------------------------------------------------
+
+
+def assert_small_grids_equal(a, b):
+    assert a.width == b.width
+    assert set(a.cells) == set(b.cells)
+    for key, cell_a in a.cells.items():
+        cell_b = b.cells[key]
+        assert cell_a.bitset.to_int() == cell_b.bitset.to_int(), key
+        assert cell_a.distinct_objects == cell_b.distinct_objects
+        assert cell_a.first_oid == cell_b.first_oid
+        assert cell_a.last_oid == cell_b.last_oid
+
+
+def assert_large_grids_equal(a, b):
+    assert a.width == b.width
+    assert set(a.cells) == set(b.cells)
+    for key, cell_a in a.cells.items():
+        cell_b = b.cells[key]
+        assert cell_a.bitset.to_int() == cell_b.bitset.to_int(), key
+        assert list(cell_a.postings) == list(cell_b.postings)
+        for oid, posting in cell_a.postings.items():
+            assert list(posting) == list(cell_b.postings[oid])
+        assert cell_a.last_oid == cell_b.last_oid
+
+
+def assert_bigrids_equal(a, b):
+    """Bit-exact index equality: the grid-mapping half of the contract."""
+    assert a.r == b.r
+    assert a.mapped_points == b.mapped_points
+    assert a.key_lists == b.key_lists
+    assert a.object_groups == b.object_groups
+    assert_small_grids_equal(a.small_grid, b.small_grid)
+    assert_large_grids_equal(a.large_grid, b.large_grid)
+    assert a.memory_bytes() == b.memory_bytes()
+
+
+def assert_results_equal(a, b):
+    """End-to-end result equality, ignoring only wall-clock fields."""
+    assert a.algorithm == b.algorithm
+    assert a.r == b.r
+    assert (a.winner, a.score) == (b.winner, b.score)
+    assert a.topk == b.topk
+    assert a.counters == b.counters
+    assert a.memory_bytes == b.memory_bytes
+    assert a.exact == b.exact
+    assert a.notes == b.notes
+
+
+# ----------------------------------------------------------------------
+# Operation-level conformance
+# ----------------------------------------------------------------------
+
+
+@needs_numpy
+class TestOperationConformance:
+    @pytest.mark.parametrize("dimension", [2, 3])
+    @pytest.mark.parametrize("width", [0.7, 1.0, 4.0])
+    def test_cell_keys_match(self, dimension, width):
+        rng = np.random.default_rng(dimension)
+        points = rng.uniform(-40.0, 40.0, size=(200, dimension))
+        assert numpy_kernel().cell_keys(points, width) == PYTHON_KERNEL.cell_keys(
+            points, width
+        )
+
+    def test_cell_keys_negative_and_boundary_coordinates(self):
+        points = np.array([[-3.0, -0.5], [0.0, 0.0], [2.0, -2.0], [1.999, 2.001]])
+        assert numpy_kernel().cell_keys(points, 1.0) == PYTHON_KERNEL.cell_keys(
+            points, 1.0
+        )
+
+    @pytest.mark.parametrize("backend", BITSET_BACKENDS)
+    @pytest.mark.parametrize("dimension", [2, 3])
+    @pytest.mark.parametrize("r", [0.8, 2.5, 6.0])
+    def test_build_bigrid_bit_exact(self, backend, dimension, r):
+        collection = random_collection(
+            n=30, mean_points=6, dimension=dimension, seed=dimension * 7
+        )
+        ref = PYTHON_KERNEL.build_bigrid(collection, r, backend=backend)
+        got = numpy_kernel().build_bigrid(collection, r, backend=backend)
+        assert_bigrids_equal(ref, got)
+
+    @pytest.mark.parametrize("r", [0.8, 3.0])
+    def test_lower_bounds_bit_exact(self, r):
+        collection = random_collection(n=35, mean_points=7, seed=5)
+        ref_grid = PYTHON_KERNEL.build_bigrid(collection, r)
+        got_grid = numpy_kernel().build_bigrid(collection, r)
+        ref_stats, got_stats = PhaseStats("lower"), PhaseStats("lower")
+        ref = PYTHON_KERNEL.lower_bounds(ref_grid, keep_bitsets=True, stats=ref_stats)
+        got = numpy_kernel().lower_bounds(got_grid, keep_bitsets=True, stats=got_stats)
+        assert ref.values == got.values
+        assert ref.tau_max == got.tau_max
+        assert ref_stats.counters == got_stats.counters
+        assert [
+            0 if bits is None else bits.to_int() for bits in ref.bitsets
+        ] == [0 if bits is None else bits.to_int() for bits in got.bitsets]
+
+    @pytest.mark.parametrize("r", [0.8, 3.0])
+    def test_upper_bounds_bit_exact(self, r):
+        collection = random_collection(n=35, mean_points=7, seed=9)
+        ref_grid = PYTHON_KERNEL.build_bigrid(collection, r)
+        got_grid = numpy_kernel().build_bigrid(collection, r)
+        tau = PYTHON_KERNEL.lower_bounds(ref_grid).tau_max
+        ref_stats, got_stats = PhaseStats("upper"), PhaseStats("upper")
+        ref = PYTHON_KERNEL.upper_bounds(ref_grid, tau, stats=ref_stats)
+        got = numpy_kernel().upper_bounds(got_grid, tau, stats=got_stats)
+        assert ref.candidates == got.candidates
+        assert ref_stats.counters == got_stats.counters
+        # The sealed adjacency unions must agree cell by cell.
+        for key, cell in ref_grid.large_grid.cells.items():
+            assert cell.adj_int == got_grid.large_grid.cells[key].adj_int, key
+        assert ref_grid.large_grid.adj_computed == got_grid.large_grid.adj_computed
+
+    def test_any_within_boundary_is_inclusive(self):
+        point = np.zeros(2)
+        exact = np.array([[3.0, 4.0]])  # distance exactly 5
+        for kernel in (PYTHON_KERNEL, numpy_kernel()):
+            assert kernel.any_within(exact, point, 25.0)
+            assert not kernel.any_within(exact, point, 25.0 - 1e-9)
+
+    @pytest.mark.parametrize("rows", [1, 255, 256, 257, 513, 1000])
+    def test_any_within_matches_across_chunk_sizes(self, rows):
+        # 256 is the numpy backend's early-exit chunk size; straddle it.
+        rng = np.random.default_rng(rows)
+        candidates = rng.uniform(-10.0, 10.0, size=(rows, 3))
+        point = rng.uniform(-10.0, 10.0, size=3)
+        for r_squared in (0.5, 20.0, 1e6):
+            assert numpy_kernel().any_within(
+                candidates, point, r_squared
+            ) == PYTHON_KERNEL.any_within(candidates, point, r_squared)
+
+    def test_any_within_hit_only_in_last_chunk(self):
+        candidates = np.full((600, 2), 50.0)
+        candidates[-1] = (0.1, 0.1)
+        point = np.zeros(2)
+        assert numpy_kernel().any_within(candidates, point, 1.0)
+        assert not numpy_kernel().any_within(candidates[:-1], point, 1.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end conformance through every engine
+# ----------------------------------------------------------------------
+
+
+@needs_numpy
+class TestEngineConformance:
+    @pytest.mark.parametrize("backend", BITSET_BACKENDS)
+    @pytest.mark.parametrize("dimension", [2, 3])
+    def test_query_and_topk_match(self, backend, dimension):
+        collection = random_collection(
+            n=40, mean_points=8, dimension=dimension, seed=21
+        )
+        for r in (0.9, 2.5, 6.0):
+            ref_engine = MIOEngine(collection, backend=backend, kernel="python")
+            got_engine = MIOEngine(collection, backend=backend, kernel="numpy")
+            assert_results_equal(ref_engine.query(r), got_engine.query(r))
+            assert_results_equal(
+                ref_engine.query_topk(r, 5), got_engine.query_topk(r, 5)
+            )
+
+    def test_parallel_engine_matches(self):
+        collection = random_collection(n=40, mean_points=8, seed=23)
+        for r in (1.2, 4.0):
+            ref = ParallelMIOEngine(collection, cores=2, kernel="python").query(r)
+            got = ParallelMIOEngine(collection, cores=2, kernel="numpy").query(r)
+            assert_results_equal(ref, got)
+
+    def test_progressive_state_sequences_match(self):
+        collection = random_collection(n=35, mean_points=7, seed=27)
+        for r in (1.0, 3.5):
+            ref = list(query_progressive(collection, r, kernel="python"))
+            got = list(query_progressive(collection, r, kernel="numpy"))
+            assert ref == got
+
+    def test_session_label_path_matches(self):
+        # Second same-ceiling query runs bigrid-label; the label replay and
+        # its filtered rebuild must agree across kernels too.
+        collection = random_collection(n=40, mean_points=8, seed=31)
+        ref_session = QuerySession(collection, kernel="python")
+        got_session = QuerySession(collection, kernel="numpy")
+        for r in (3.0, 2.6, 3.0):
+            assert_results_equal(ref_session.query(r), got_session.query(r))
+
+    def test_traced_run_matches_untraced(self):
+        collection = random_collection(n=30, mean_points=6, seed=33)
+        plain = MIOEngine(collection, kernel="numpy").query(2.0)
+        traced = MIOEngine(collection, kernel="numpy", tracer=Tracer()).query(2.0)
+        assert_results_equal(plain, traced)
+
+    @given(collection=collections(), r=radii)
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_query_parity_2d(self, collection, r):
+        ref = MIOEngine(collection, kernel="python").query(r)
+        got = MIOEngine(collection, kernel="numpy").query(r)
+        assert_results_equal(ref, got)
+
+    @given(collection=collections(dimension=3, max_objects=8), r=radii)
+    @settings(max_examples=15, deadline=None)
+    def test_hypothesis_query_parity_3d(self, collection, r):
+        ref = MIOEngine(collection, kernel="python").query(r)
+        got = MIOEngine(collection, kernel="numpy").query(r)
+        assert_results_equal(ref, got)
+
+
+# ----------------------------------------------------------------------
+# Kernel-name resolution policy
+# ----------------------------------------------------------------------
+
+
+class TestKernelResolution:
+    def test_names_registry(self):
+        assert KERNEL_NAMES == ("python", "numpy", "auto")
+
+    def test_python_and_none_resolve_to_reference(self):
+        assert resolve_kernel("python") is PYTHON_KERNEL
+        assert resolve_kernel(None) is PYTHON_KERNEL
+
+    def test_instance_passes_through(self):
+        assert resolve_kernel(PYTHON_KERNEL) is PYTHON_KERNEL
+        custom = KernelBackend()
+        assert resolve_kernel(custom) is custom
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(InvalidQueryError, match="unknown kernel"):
+            resolve_kernel("cuda")
+        with pytest.raises(InvalidQueryError):
+            MIOEngine(random_collection(n=3, mean_points=2), kernel="cuda")
+
+    @needs_numpy
+    def test_auto_prefers_numpy(self):
+        assert resolve_kernel("auto").name == "numpy"
+        assert resolve_kernel("numpy").name == "numpy"
+
+    def test_env_kill_switch_pins_python(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        assert not numpy_kernel_available()
+        assert resolve_kernel("auto") is PYTHON_KERNEL
+        assert resolve_kernel("numpy") is PYTHON_KERNEL
+
+    def test_explicit_numpy_degradation_is_noted(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        collection = random_collection(n=10, mean_points=4, seed=1)
+        result = MIOEngine(collection, kernel="numpy").query(1.5)
+        assert result.notes.get("degraded_kernel") == "numpy->python"
+        # "auto" falling back is policy, not degradation: no note.
+        auto = MIOEngine(collection, kernel="auto").query(1.5)
+        assert "degraded_kernel" not in auto.notes
+
+    def test_python_runs_identically_under_kill_switch(self, monkeypatch):
+        collection = random_collection(n=15, mean_points=5, seed=2)
+        baseline = MIOEngine(collection, kernel="python").query(2.0)
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        pinned = MIOEngine(collection, kernel="python").query(2.0)
+        assert_results_equal(baseline, pinned)

@@ -37,7 +37,7 @@ ORCHESTRATION = (
 )
 
 #: The foundation layers themselves.
-FOUNDATION = ("repro.core", "repro.grid", "repro.bitset")
+FOUNDATION = ("repro.core", "repro.grid", "repro.bitset", "repro.kernels")
 
 #: Query machinery the freestanding obs layer must not depend on.
 QUERY_MACHINERY = ("repro.core", "repro.grid", "repro.parallel", "repro.session")

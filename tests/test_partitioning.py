@@ -133,3 +133,81 @@ class TestEq3CostModel:
 
     def test_bitset_cost_scales(self):
         assert upper_bounding_group_cost(0, True, 3, bitset_cost=2.0) == 54
+
+
+# ----------------------------------------------------------------------
+# Number-partitioning helpers promoted public in earlier PRs:
+# zipf_partition (skewed generator sizes) and bits_of (bitset bridge).
+# Their empty-input behavior is part of the documented contract.
+# ----------------------------------------------------------------------
+
+
+class TestZipfPartitionEdgeCases:
+    def test_zero_total_returns_empty_array(self):
+        import numpy as np
+
+        from repro.datasets.trajectories import zipf_partition
+
+        sizes = zipf_partition(np.random.default_rng(0), 0, 5, 1.3)
+        assert sizes.shape == (0,)
+        assert sizes.dtype == np.int64
+
+    def test_zero_total_accepts_any_part_count(self):
+        import numpy as np
+
+        from repro.datasets.trajectories import zipf_partition
+
+        for n_parts in (0, 1, 7, -3):
+            sizes = zipf_partition(np.random.default_rng(0), 0, n_parts, 1.3)
+            assert len(sizes) == 0
+
+    def test_negative_total_raises(self):
+        import numpy as np
+        import pytest
+
+        from repro.datasets.trajectories import zipf_partition
+
+        with pytest.raises(ValueError, match="non-negative"):
+            zipf_partition(np.random.default_rng(0), -1, 3, 1.3)
+
+    def test_nonpositive_parts_with_positive_total_raises(self):
+        import numpy as np
+        import pytest
+
+        from repro.datasets.trajectories import zipf_partition
+
+        for n_parts in (0, -2):
+            with pytest.raises(ValueError, match="positive total"):
+                zipf_partition(np.random.default_rng(0), 10, n_parts, 1.3)
+
+    def test_parts_positive_and_sum_to_total(self):
+        import numpy as np
+
+        from repro.datasets.trajectories import zipf_partition
+
+        for seed, total, n_parts in ((0, 1, 1), (1, 5, 9), (2, 100, 7), (3, 17, 17)):
+            sizes = zipf_partition(np.random.default_rng(seed), total, n_parts, 1.5)
+            assert len(sizes) == min(n_parts, total)
+            assert int(sizes.sum()) == total
+            assert (sizes >= 1).all()
+
+
+class TestBitsOfEdgeCases:
+    def test_zero_is_empty_set(self):
+        from repro.core.verification import bits_of
+
+        assert bits_of(0) == set()
+
+    def test_zero_returns_fresh_mutable_set(self):
+        from repro.core.verification import bits_of
+
+        first = bits_of(0)
+        first.add(99)
+        assert bits_of(0) == set()
+
+    def test_round_trip(self):
+        from repro.core.verification import bits_of
+
+        for positions in (set(), {0}, {63}, {0, 1, 64, 200}, set(range(0, 300, 7))):
+            value = sum(1 << p for p in positions)
+            assert bits_of(value) == positions

@@ -312,3 +312,108 @@ def test_rtree_query_matches_brute_force(rows, r):
         if _gap_squared(blo, bhi, lo, hi) <= r * r
     }
     assert set(tree.query_within(lo, hi, r)) == expected
+
+
+# ----------------------------------------------------------------------
+# Metamorphic properties
+#
+# Definition 1 is purely relational: tau depends only on pairwise
+# distances, so rigid translations leave every score unchanged and
+# uniform scalings leave them unchanged when r scales along.  The
+# transforms below are chosen to commute *exactly* with IEEE-754
+# arithmetic -- integer coordinates and translations (exact below 2^53)
+# and power-of-two scale factors -- so the full ranking must match
+# bit-for-bit, not just approximately.  Full rankings (query_topk with
+# k = n) are compared instead of winners because tie-breaks among
+# equal-score objects may legitimately resolve differently once grid
+# keys move.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def integer_collections(draw, max_objects=10, max_points=5, dimension=2):
+    n = draw(st.integers(min_value=2, max_value=max_objects))
+    coordinate = st.integers(min_value=-30, max_value=30)
+    arrays = []
+    for _ in range(n):
+        count = draw(st.integers(min_value=1, max_value=max_points))
+        flat = draw(
+            st.lists(coordinate, min_size=count * dimension, max_size=count * dimension)
+        )
+        arrays.append(np.array(flat, dtype=np.float64).reshape(count, dimension))
+    return ObjectCollection.from_point_arrays(arrays)
+
+
+def full_ranking(collection, r):
+    return dict(MIOEngine(collection).query_topk(r, collection.n).topk)
+
+
+def translated(collection, offset):
+    return ObjectCollection.from_point_arrays(
+        [collection[oid].points + offset for oid in range(collection.n)]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    collection=integer_collections(),
+    r=radii,
+    shift=st.tuples(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+    ),
+)
+def test_integer_translation_preserves_all_scores(collection, r, shift):
+    moved = translated(collection, np.array(shift, dtype=np.float64))
+    assert full_ranking(moved, r) == full_ranking(collection, r)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    collection=integer_collections(),
+    r=radii,
+    log2_factor=st.integers(min_value=-3, max_value=4),
+)
+def test_power_of_two_scaling_preserves_all_scores(collection, r, log2_factor):
+    factor = 2.0 ** log2_factor
+    scaled = ObjectCollection.from_point_arrays(
+        [collection[oid].points * factor for oid in range(collection.n)]
+    )
+    assert full_ranking(scaled, r * factor) == full_ranking(collection, r)
+
+
+def _interactors(collection, oid, r):
+    """Objects within distance r of object oid, by exact squared distance."""
+    r_squared = r * r
+    result = set()
+    for other in range(collection.n):
+        if other == oid:
+            continue
+        diff = collection[oid].points[:, None, :] - collection[other].points[None, :, :]
+        if np.einsum("ijk,ijk->ij", diff, diff).min() <= r_squared:
+            result.add(other)
+    return result
+
+
+@settings(max_examples=25, deadline=None)
+@given(collection=collections(max_objects=8, max_points=4), r=radii, data=st.data())
+def test_duplicating_an_object_increments_its_interactors(collection, r, data):
+    target = data.draw(
+        st.integers(min_value=0, max_value=collection.n - 1), label="target"
+    )
+    base = full_ranking(collection, r)
+    interactors = _interactors(collection, target, r)
+
+    arrays = [collection[oid].points for oid in range(collection.n)]
+    duplicated = ObjectCollection.from_point_arrays(
+        arrays + [arrays[target].copy()]
+    )
+    after = full_ranking(duplicated, r)
+
+    # The copy interacts with the original (distance 0) and inherits all
+    # of its interactions; everyone who interacted with the target gains
+    # exactly the copy; everyone else is untouched.
+    assert after[collection.n] == base[target] + 1
+    for oid in range(collection.n):
+        expected_gain = 1 if (oid == target or oid in interactors) else 0
+        assert after[oid] == base[oid] + expected_gain, oid
