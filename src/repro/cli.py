@@ -9,6 +9,7 @@ Commands
 ``compare``    run all algorithms on one query and print a comparison
 ``batch``      run a JSON workload through one QuerySession (label reuse)
 ``explain``    trace one query: span tree plus the pruning funnel
+``serve``      run the hardened concurrent HTTP query service (docs/service.md)
 
 Observability flags: ``query --trace`` prints the span tree under the
 answer, ``query``/``batch --metrics-out PATH`` dump the metrics registry
@@ -59,7 +60,7 @@ from repro.datasets import (
     sample_collection,
     save_collection,
 )
-from repro.errors import CorruptDataError, ReproError
+from repro.errors import CorruptDataError, InvalidQueryError, ReproError
 from repro.kernels import KERNEL_NAMES
 from repro.parallel import ParallelMIOEngine
 from repro.session import QuerySession
@@ -139,6 +140,34 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--log-json", default=None, metavar="PATH",
                        help="stream one structured JSON log line per request "
                             "(batch_id/query_id correlation ids)")
+
+    serve = commands.add_parser(
+        "serve", help="run the hardened concurrent query service over a dataset"
+    )
+    serve.add_argument("path", help=".npz dataset file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--backend", default="ewah",
+                       choices=("ewah", "plain", "roaring"))
+    serve.add_argument("--kernel", default="auto", choices=KERNEL_NAMES,
+                       help="compute kernel for the primary execution path")
+    serve.add_argument("--cores", type=int, default=1,
+                       help="simulated cores for the primary path")
+    serve.add_argument("--max-inflight", type=int, default=4,
+                       help="requests executing concurrently")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="admission queue depth before shedding with 429")
+    serve.add_argument("--default-timeout-ms", type=float, default=1000.0,
+                       help="budget for requests without a timeout_ms")
+    serve.add_argument("--max-timeout-ms", type=float, default=30000.0,
+                       help="cap on any requested budget (0 disables)")
+    serve.add_argument("--breaker-failures", type=int, default=5,
+                       help="consecutive failures that trip the circuit breaker")
+    serve.add_argument("--breaker-reset-s", type=float, default=2.0,
+                       help="base open interval before a half-open probe")
+    serve.add_argument("--drain-s", type=float, default=5.0,
+                       help="graceful-shutdown drain budget in seconds")
 
     explain = commands.add_parser(
         "explain", help="trace one query: span tree plus the pruning funnel"
@@ -301,12 +330,16 @@ def _load_workload(path: str):
     except OSError as exc:
         raise CorruptDataError(f"{path}: cannot read workload ({exc})") from exc
     except json.JSONDecodeError as exc:
-        raise CorruptDataError(f"{path}: not valid JSON ({exc})") from exc
+        # Malformed *input* is the caller's bug (exit 11 / HTTP 400), not
+        # corrupt on-disk state; only an unreadable file is CorruptDataError.
+        raise InvalidQueryError(f"{path}: not valid JSON ({exc})") from exc
     if not isinstance(document, dict) or "dataset" not in document:
-        raise CorruptDataError(f'{path}: workload must be an object with a "dataset" key')
+        raise InvalidQueryError(
+            f'{path}: workload must be an object with a "dataset" key'
+        )
     queries = document.get("queries")
     if not isinstance(queries, list) or not queries:
-        raise CorruptDataError(f'{path}: workload needs a non-empty "queries" list')
+        raise InvalidQueryError(f'{path}: workload needs a non-empty "queries" list')
     dataset = Path(document["dataset"])
     if not dataset.is_absolute():
         dataset = workload_path.parent / dataset
@@ -388,6 +421,47 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: none of the other commands need the service stack.
+    from repro.service import MIOServer, ServiceApp, ServiceConfig
+
+    collection = load_collection(args.path)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_timeout_ms=args.default_timeout_ms,
+        max_timeout_ms=args.max_timeout_ms,
+        breaker_failures=args.breaker_failures,
+        breaker_reset_s=args.breaker_reset_s,
+        drain_s=args.drain_s,
+    )
+    app = ServiceApp(
+        collection, config,
+        backend=args.backend, kernel=args.kernel, cores=args.cores,
+    )
+    server = MIOServer(app)
+    host, port = server.address
+    print(f"serving {args.path} ({collection.n} objects) on http://{host}:{port}",
+          file=sys.stderr)
+    print(f"endpoints: /query /topk /batch /healthz /readyz /metrics",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining in-flight requests ...", file=sys.stderr)
+        drained = server.shutdown_gracefully()
+        snapshot = app.snapshot()
+        print(
+            f"served {snapshot['served']} requests "
+            f"({snapshot['degraded']} degraded, {snapshot['shed']} shed); "
+            f"drain {'completed' if drained else 'timed out'}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -395,6 +469,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "batch": _cmd_batch,
     "explain": _cmd_explain,
+    "serve": _cmd_serve,
 }
 
 

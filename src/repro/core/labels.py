@@ -27,6 +27,7 @@ row of Table II.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence
 
@@ -132,6 +133,15 @@ class LabelStore:
     ``directory=None`` keeps labels in memory only, which is convenient for
     tests; with a directory, labels survive process restarts and loading
     them models the O(nm / B) label I/O of the paper.
+
+    The store is thread-safe: the concurrent query service shares one
+    instance across worker threads, each query *reading* published
+    :class:`PointLabels` (mask lookups) while at most one labeling run
+    *publishes* a freshly built object via :meth:`put`.  Published label
+    arrays are never mutated in place -- a labeling run writes into its
+    own private ``PointLabels`` and publishes it whole -- so readers need
+    no lock once :meth:`get` has returned; the store's lock only guards
+    the cache dictionary and disk I/O.
     """
 
     def __init__(self, directory: Optional[Path] = None) -> None:
@@ -139,6 +149,7 @@ class LabelStore:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._cache: Dict[int, PointLabels] = {}
+        self._lock = threading.RLock()
         #: Lookup accounting for session stats: a hit is a :meth:`get` that
         #: found labels (memory or disk), a miss one that found none.
         self.hits = 0
@@ -150,38 +161,42 @@ class LabelStore:
 
     def has(self, ceil_r: int) -> bool:
         """Whether labels exist for this ``ceil(r)`` (the O(1) hash check)."""
-        if ceil_r in self._cache:
-            return True
+        with self._lock:
+            if ceil_r in self._cache:
+                return True
         return self.directory is not None and self._path(ceil_r).exists()
 
     def get(self, ceil_r: int) -> Optional[PointLabels]:
         """Load labels for ``ceil(r)``, or None if no query produced them yet."""
-        cached = self._cache.get(ceil_r)
-        if cached is not None:
+        with self._lock:
+            cached = self._cache.get(ceil_r)
+            if cached is not None:
+                self.hits += 1
+                observe_cache("labels", hit=True)
+                return cached
+            if self.directory is None:
+                self.misses += 1
+                observe_cache("labels", hit=False)
+                return None
+            path = self._path(ceil_r)
+            if not path.exists():
+                self.misses += 1
+                observe_cache("labels", hit=False)
+                return None
+            try:
+                with np.load(path) as archive:
+                    count = int(archive["count"])
+                    labels = PointLabels.__new__(PointLabels)
+                    labels.r = float(archive["r"])
+                    labels.arrays = [archive[f"o{i}"] for i in range(count)]
+            except Exception as exc:
+                raise CorruptDataError(
+                    f"{path}: not a valid label archive ({exc})"
+                ) from exc
+            self._cache[ceil_r] = labels
             self.hits += 1
             observe_cache("labels", hit=True)
-            return cached
-        if self.directory is None:
-            self.misses += 1
-            observe_cache("labels", hit=False)
-            return None
-        path = self._path(ceil_r)
-        if not path.exists():
-            self.misses += 1
-            observe_cache("labels", hit=False)
-            return None
-        try:
-            with np.load(path) as archive:
-                count = int(archive["count"])
-                labels = PointLabels.__new__(PointLabels)
-                labels.r = float(archive["r"])
-                labels.arrays = [archive[f"o{i}"] for i in range(count)]
-        except Exception as exc:
-            raise CorruptDataError(f"{path}: not a valid label archive ({exc})") from exc
-        self._cache[ceil_r] = labels
-        self.hits += 1
-        observe_cache("labels", hit=True)
-        return labels
+            return labels
 
     def ceilings(self) -> list:
         """Sorted ``ceil(r)`` values with labels available (memory or disk).
@@ -190,7 +205,8 @@ class LabelStore:
         labeling run; the check itself is the O(1)-per-bucket hash lookup
         the paper assumes for "labels exist?".
         """
-        available = set(self._cache)
+        with self._lock:
+            available = set(self._cache)
         if self.directory is not None:
             for path in self.directory.glob("labels_ceil_*.npz"):
                 try:
@@ -200,19 +216,25 @@ class LabelStore:
         return sorted(available)
 
     def put(self, ceil_r: int, labels: PointLabels) -> None:
-        """Persist labels produced by a labeling run (post-processing)."""
-        self._cache[ceil_r] = labels
-        if self.directory is None:
-            return
-        payload = {f"o{i}": arr for i, arr in enumerate(labels.arrays)}
-        payload["r"] = np.float64(labels.r)
-        payload["count"] = np.int64(len(labels.arrays))
-        np.savez(self._path(ceil_r), **payload)
+        """Persist labels produced by a labeling run (post-processing).
+
+        ``labels`` must not be mutated after publication: concurrent
+        readers consume it lock-free (see the class docstring).
+        """
+        with self._lock:
+            self._cache[ceil_r] = labels
+            if self.directory is None:
+                return
+            payload = {f"o{i}": arr for i, arr in enumerate(labels.arrays)}
+            payload["r"] = np.float64(labels.r)
+            payload["count"] = np.int64(len(labels.arrays))
+            np.savez(self._path(ceil_r), **payload)
 
     def clear(self) -> None:
         """Drop all stored labels (memory and disk)."""
         observe_cache_invalidation("labels")
-        self._cache.clear()
-        if self.directory is not None:
-            for path in self.directory.glob("labels_ceil_*.npz"):
-                path.unlink()
+        with self._lock:
+            self._cache.clear()
+            if self.directory is not None:
+                for path in self.directory.glob("labels_ceil_*.npz"):
+                    path.unlink()

@@ -13,6 +13,7 @@ key lists -- so objects in sparse space touch no cell at all here.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Type
@@ -52,26 +53,35 @@ class LowerBoundCache:
     poison the cache.  Entries are complete results only: the engine stores
     after ``compute_lower_bounds`` returns, never on a timeout.  An LRU cap
     bounds memory across long threshold sweeps.
+
+    The cache is thread-safe: the concurrent query service shares one
+    instance across worker threads.  The LRU order mutates on every
+    lookup (``move_to_end``), so reads lock too; the per-object bitset
+    rebuild happens outside the lock on an immutable entry tuple.
     """
 
-    __slots__ = ("max_entries", "_entries", "hits", "misses")
+    __slots__ = ("max_entries", "_entries", "_lock", "hits", "misses")
 
     def __init__(self, max_entries: int = 8) -> None:
         self.max_entries = max_entries
         #: ``r -> (values, tau_max, bitset_ints)`` in LRU order.
         self._entries: "OrderedDict[float, tuple]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, r: float, bitset_cls: Type[Bitset]) -> Optional[LowerBoundResult]:
-        entry = self._entries.get(r)
+        with self._lock:
+            entry = self._entries.get(r)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._entries.move_to_end(r)
         if entry is None:
-            self.misses += 1
             observe_cache("lower_bounds", hit=False)
             return None
-        self.hits += 1
         observe_cache("lower_bounds", hit=True)
-        self._entries.move_to_end(r)
         values, tau_max, bitset_ints = entry
         return LowerBoundResult(
             values=list(values),
@@ -90,17 +100,19 @@ class LowerBoundCache:
         bitset_ints = [
             bitset.to_int() if bitset is not None else 0 for bitset in result.bitsets
         ]
-        self._entries[r] = (list(result.values), result.tau_max, bitset_ints)
-        self._entries.move_to_end(r)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[r] = (list(result.values), result.tau_max, bitset_ints)
+            self._entries.move_to_end(r)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
         observe_cache_invalidation("lower_bounds")
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def counters(self) -> Dict[str, int]:
         return {"lower_cache_hits": self.hits, "lower_cache_misses": self.misses}

@@ -499,6 +499,7 @@ class SerialFinalizeStage(Stage):
             winner, score = best_lb_oid, best_lb
         notes = dict(ctx.notes)
         notes["anytime"] = "deadline expired during verification"
+        notes["degraded_deadline"] = "verification"
         return MIOResult(
             algorithm="bigrid-label" if ctx.labels is not None else "bigrid",
             r=ctx.r,

@@ -18,10 +18,17 @@ cache entry valid for label-free and with-label runs alike.
 The cache is keyed by *position* (object ids), exactly like point labels;
 it must be cleared whenever the collection changes.  :class:`~repro.session.
 QuerySession` owns that lifecycle.
+
+The cache is thread-safe: the concurrent query service shares one
+instance across worker threads.  Dictionary accesses are guarded by a
+lock, while ``compute_keys`` runs outside it -- two threads missing the
+same ``(ceil_r, oid)`` may both compute the entry, but the computation is
+deterministic, so last-write-wins is harmless.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -37,11 +44,12 @@ LargeKeysProvider = Callable[[int, np.ndarray], List[Key]]
 class LargeKeyCache:
     """Per-``ceil(r)`` cache of every object's large-grid cell keys."""
 
-    __slots__ = ("_keys", "hits", "misses")
+    __slots__ = ("_keys", "_lock", "hits", "misses")
 
     def __init__(self) -> None:
         #: ``(ceil_r, oid) -> per-point key list`` (all points of the object).
         self._keys: Dict[Tuple[int, int], List[Key]] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -61,14 +69,19 @@ class LargeKeyCache:
         miss_metric = cache_request_counter("grid_keys", hit=False)
 
         def provide(oid: int, indices: np.ndarray) -> List[Key]:
-            entry = self._keys.get((ceil_r, oid))
+            with self._lock:
+                entry = self._keys.get((ceil_r, oid))
             if entry is None:
-                self.misses += 1
-                miss_metric.inc()
+                # Computed outside the lock: a concurrent miss on the same
+                # key recomputes the identical deterministic entry.
                 entry = compute_keys(collection[oid].points, width)
-                self._keys[(ceil_r, oid)] = entry
+                with self._lock:
+                    self.misses += 1
+                    self._keys[(ceil_r, oid)] = entry
+                miss_metric.inc()
             else:
-                self.hits += 1
+                with self._lock:
+                    self.hits += 1
                 hit_metric.inc()
             if len(indices) == len(entry):
                 return entry
@@ -82,7 +95,8 @@ class LargeKeyCache:
     def clear(self) -> None:
         """Drop all cached keys (required on any collection mutation)."""
         observe_cache_invalidation("grid_keys")
-        self._keys.clear()
+        with self._lock:
+            self._keys.clear()
 
     def counters(self) -> Dict[str, int]:
         return {"grid_key_cache_hits": self.hits, "grid_key_cache_misses": self.misses}

@@ -84,6 +84,17 @@ class Deadline:
         """Seconds left before expiry (may be negative once expired)."""
         return self._expires - self._clock()
 
+    def remaining_ms(self) -> float:
+        """Milliseconds left before expiry, clamped at 0.0 once expired.
+
+        The re-budgeting helper for layered callers: a service that
+        accepted a request with an end-to-end budget hands the *same*
+        deadline (or ``remaining_ms()`` as a fresh ``timeout_ms``) to
+        :class:`~repro.session.QuerySession`, so time spent queued before
+        the pipeline starts is charged to the request, not forgotten.
+        """
+        return max(0.0, self.remaining() * 1000.0)
+
     def expired(self) -> bool:
         """Whether the budget has run out."""
         return self._clock() >= self._expires

@@ -1,0 +1,53 @@
+"""The hardened concurrent MIO query service.
+
+A long-lived, stdlib-only HTTP front end over
+:class:`~repro.session.QuerySession`, built for sustained concurrent
+load:
+
+* bounded admission with load shedding (:mod:`repro.service.admission`),
+* end-to-end per-request deadlines that degrade to anytime answers,
+* a circuit breaker guarding the primary execution path
+  (:mod:`repro.service.breaker`) with a dependable fallback chain,
+* taxonomy-mapped error responses, never raw tracebacks,
+* graceful drain keyed off ``/readyz``,
+* a bundled retry client that honors ``Retry-After``
+  (:mod:`repro.service.client`).
+
+``docs/service.md`` is the operator guide; ``repro serve`` is the CLI
+entry point.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.app import Response, ServiceApp
+from repro.service.breaker import CircuitBreaker
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.server import MIOServer
+
+
+def serve(source, config=None, **session_opts) -> MIOServer:
+    """Build an app over ``source`` and return a started server.
+
+    Convenience for tests and embedding::
+
+        server = serve(collection, ServiceConfig(port=0))
+        client = ServiceClient(*server.address)
+        ...
+        server.shutdown_gracefully()
+    """
+    app = ServiceApp(source, config, **session_opts)
+    return MIOServer(app).start()
+
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "CircuitBreaker",
+    "MIOServer",
+    "Response",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "serve",
+]

@@ -40,6 +40,7 @@ serial access order) and everything else through the parallel engine.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -83,8 +84,33 @@ class QueryRequest:
 RequestLike = Union[QueryRequest, float, int, dict]
 
 
-def _normalize(spec: RequestLike) -> QueryRequest:
-    """Coerce a workload entry (number, dict, or request) to a request."""
+def _number(value: object, field_name: str) -> float:
+    """Coerce one numeric request field, mapping junk to the taxonomy.
+
+    ``float("abc")`` and ``int(None)`` raise builtin ``ValueError`` /
+    ``TypeError``; letting those escape would hand a raw traceback to the
+    CLI and the service, so every coercion funnels through here and comes
+    out as :class:`InvalidQueryError` (exit code 11 / HTTP 400).
+    """
+    if isinstance(value, bool):
+        raise InvalidQueryError(f'request field "{field_name}" must be a number')
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise InvalidQueryError(
+            f'request field "{field_name}" must be a number, got {value!r}'
+        ) from None
+
+
+def normalize_request(spec: RequestLike) -> QueryRequest:
+    """Coerce a workload entry (number, dict, or request) to a request.
+
+    The one validation funnel for every ingress surface -- the session's
+    own entry points, ``repro batch`` workload files, and the HTTP
+    service's request bodies -- so malformed input always surfaces as
+    :class:`InvalidQueryError` (exit code 11 / HTTP 400), never as a raw
+    ``ValueError`` traceback.
+    """
     if isinstance(spec, QueryRequest):
         request = spec
     elif isinstance(spec, dict):
@@ -95,10 +121,17 @@ def _normalize(spec: RequestLike) -> QueryRequest:
             )
         if "r" not in spec:
             raise InvalidQueryError('a request object needs an "r" field')
+        k = _number(spec.get("k", 1), "k")
+        if k != int(k):
+            raise InvalidQueryError(f'request field "k" must be an integer, got {k!r}')
         request = QueryRequest(
-            r=float(spec["r"]),
-            k=int(spec.get("k", 1)),
-            timeout_ms=spec["timeout_ms"] if spec.get("timeout_ms") is not None else None,
+            r=_number(spec["r"], "r"),
+            k=int(k),
+            timeout_ms=(
+                _number(spec["timeout_ms"], "timeout_ms")
+                if spec.get("timeout_ms") is not None
+                else None
+            ),
         )
     elif isinstance(spec, (int, float)) and not isinstance(spec, bool):
         request = QueryRequest(r=float(spec))
@@ -106,10 +139,12 @@ def _normalize(spec: RequestLike) -> QueryRequest:
         raise InvalidQueryError(
             f"a request must be a number, a dict, or a QueryRequest, got {spec!r}"
         )
-    if not request.r > 0 or math.isinf(request.r):
+    if math.isnan(request.r) or not request.r > 0 or math.isinf(request.r):
         raise InvalidQueryError("the distance threshold r must be positive and finite")
     if request.k < 1:
         raise InvalidQueryError("k must be at least 1")
+    if request.timeout_ms is not None and request.timeout_ms < 0:
+        raise InvalidQueryError("timeout_ms must be >= 0")
     return request
 
 
@@ -164,6 +199,13 @@ class QuerySession:
         self.key_cache = LargeKeyCache()
         self.lower_cache = LowerBoundCache(lower_cache_entries)
         register_cache_metrics()
+        # Concurrent use (the query service): the cache tiers are
+        # individually thread-safe; these two locks cover the session's own
+        # shared state.  ``_stats_lock`` guards the counters dict (plain
+        # ``+=`` is not atomic), ``_refresh_lock`` serializes the dynamic
+        # re-snapshot so exactly one thread rebuilds engines per version.
+        self._stats_lock = threading.Lock()
+        self._refresh_lock = threading.RLock()
         self.counters: Dict[str, int] = {
             "queries": 0,
             "batches": 0,
@@ -208,7 +250,8 @@ class QuerySession:
         self.label_store.clear()
         self.key_cache.clear()
         self.lower_cache.clear()
-        self.counters["invalidations"] += 1
+        with self._stats_lock:
+            self.counters["invalidations"] += 1
 
     def _build_engines(self) -> None:
         self._serial = MIOEngine(
@@ -238,20 +281,30 @@ class QuerySession:
         )
 
     def _refresh(self) -> None:
-        """Re-snapshot a dynamic source; invalidate if it mutated."""
+        """Re-snapshot a dynamic source; invalidate if it mutated.
+
+        Version-checked and lock-guarded: concurrent service workers all
+        pass through here before querying, and exactly one rebuilds the
+        shared snapshot per observed mutation while the rest proceed on
+        the (read-only) result.
+        """
         if self._dynamic is None:
             return
         if self._serial is not None and self._seen_version == self._dynamic.version:
             return
-        collection, handles = self._dynamic.snapshot()
-        if self._serial is not None:
-            # The previous snapshot's positional caches are unsound for the
-            # re-compacted collection even when every shape coincides.
-            self.invalidate()
-        self.collection = collection
-        self.handle_of_position = handles
-        self._seen_version = self._dynamic.version
-        self._build_engines()
+        with self._refresh_lock:
+            if self._serial is not None and self._seen_version == self._dynamic.version:
+                return  # another worker already re-snapshotted this version
+            collection, handles = self._dynamic.snapshot()
+            if self._serial is not None:
+                # The previous snapshot's positional caches are unsound for
+                # the re-compacted collection even when every shape
+                # coincides.
+                self.invalidate()
+            self.collection = collection
+            self.handle_of_position = handles
+            self._seen_version = self._dynamic.version
+            self._build_engines()
 
     def handle_of(self, position: int) -> int:
         """Map a result's winner position to the source's stable handle."""
@@ -272,7 +325,7 @@ class QuerySession:
         """One MIO query through the session's warm caches."""
         self._refresh()
         return self._execute(
-            _normalize(QueryRequest(r=r, timeout_ms=timeout_ms, deadline=deadline)),
+            normalize_request(QueryRequest(r=r, timeout_ms=timeout_ms, deadline=deadline)),
             catch_timeout=False,
         )
 
@@ -286,7 +339,7 @@ class QuerySession:
         """The top-k variant through the session's warm caches."""
         self._refresh()
         return self._execute(
-            _normalize(QueryRequest(r=r, k=k, timeout_ms=timeout_ms, deadline=deadline)),
+            normalize_request(QueryRequest(r=r, k=k, timeout_ms=timeout_ms, deadline=deadline)),
             catch_timeout=False,
         )
 
@@ -306,7 +359,7 @@ class QuerySession:
         already degrades to the engine's anytime answer.
         """
         self._refresh()
-        normalized = [_normalize(spec) for spec in requests]
+        normalized = [normalize_request(spec) for spec in requests]
         if not normalized:
             return []
         tracer = ensure_tracer(self.tracer)
@@ -348,7 +401,8 @@ class QuerySession:
             results = run_grouped_sweep(
                 [request.r for request in normalized], run_request
             )
-        self.counters["batches"] += 1
+        with self._stats_lock:
+            self.counters["batches"] += 1
         obs_metrics.counter(
             "repro_batches_total", "Batched query_many calls completed"
         ).inc()
@@ -401,7 +455,9 @@ class QuerySession:
         result carries the sentinel ``winner == -1`` with score 0 (a valid,
         if vacuous, lower bound) and records where time ran out.
         """
-        self.counters["timeouts"] += 1
+        with self._stats_lock:
+            self.counters["timeouts"] += 1
+        phase = exc.phase or "filtering"
         return MIOResult(
             algorithm="bigrid",
             r=request.r,
@@ -409,27 +465,33 @@ class QuerySession:
             score=0,
             exact=False,
             notes={
-                "anytime": f"deadline expired during {exc.phase or 'filtering'} "
-                           "(no verified answer)",
+                "anytime": f"deadline expired during {phase} (no verified answer)",
+                "degraded_deadline": phase,
             },
         )
 
     def _account(self, result: MIOResult, parallel: bool) -> None:
         """Fold one result into the session counters (and annotate it)."""
-        self.counters["queries"] += 1
         with_label = result.algorithm.startswith("bigrid-label")
-        if with_label:
-            self.counters["label_hits"] += 1
-        else:
-            self.counters["label_misses"] += 1
         skipped = 0
         if self.collection is not None and "mapped_points" in result.counters:
             skipped = self.collection.total_points - result.counters["mapped_points"]
+        if not result.exact and "degraded_deadline" not in result.notes:
+            # Every anytime answer names its degradation cause uniformly,
+            # whichever layer produced it (engine verification timeout here,
+            # pre-verification expiry in _timeout_result above).
+            result.notes["degraded_deadline"] = "verification"
+        with self._stats_lock:
+            self.counters["queries"] += 1
+            if with_label:
+                self.counters["label_hits"] += 1
+            else:
+                self.counters["label_misses"] += 1
             self.counters["points_skipped_by_labels"] += skipped
-        if not result.exact:
-            self.counters["anytime_results"] += 1
-        if parallel:
-            self.counters["parallel_queries"] += 1
+            if not result.exact:
+                self.counters["anytime_results"] += 1
+            if parallel:
+                self.counters["parallel_queries"] += 1
         result.counters["session_label_hit"] = int(with_label)
         result.counters["session_points_skipped"] = skipped
 

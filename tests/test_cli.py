@@ -214,12 +214,15 @@ class TestBatch:
         '{"queries": [1.0]}',
         '{"dataset": "data.npz", "queries": []}',
     ])
-    def test_corrupt_workload_exit_code(self, tmp_path, capsys, body):
+    def test_malformed_workload_exit_code(self, tmp_path, capsys, body):
+        # Malformed workload *content* is the caller's bug: exit 11
+        # (InvalidQueryError), never a raw traceback.  Only an unreadable
+        # file (below) is corrupt-data territory.
         path = tmp_path / "bad.json"
         path.write_text(body)
         code = main(["batch", str(path)])
-        assert code == 12
-        assert "CorruptDataError" in capsys.readouterr().err
+        assert code == 11
+        assert "InvalidQueryError" in capsys.readouterr().err
 
     def test_missing_workload_exit_code(self, tmp_path, capsys):
         code = main(["batch", str(tmp_path / "absent.json")])
@@ -233,3 +236,15 @@ class TestBatch:
         code = main(["batch", str(path)])
         assert code == 11
         assert "InvalidQueryError" in capsys.readouterr().err
+
+    def test_non_numeric_request_field_exit_code(self, tmp_path, dataset_file, capsys):
+        # A junk value inside an otherwise well-formed workload must come
+        # out as InvalidQueryError too, not as a float() traceback.
+        path = tmp_path / "junk_field.json"
+        path.write_text(json.dumps({
+            "dataset": "data.npz", "queries": [{"r": "abc"}],
+        }))
+        code = main(["batch", str(path)])
+        assert code == 11
+        err = capsys.readouterr().err
+        assert "InvalidQueryError" in err and "Traceback" not in err

@@ -60,6 +60,42 @@ class TestDeadline:
         with pytest.raises(TimeoutError):
             deadline.check("verification")
 
+    def test_remaining_ms_counts_down_and_clamps_at_zero(self):
+        clock = ManualClock()
+        deadline = Deadline(0.5, clock=clock)
+        assert deadline.remaining_ms() == pytest.approx(500.0)
+        clock.advance(0.2)
+        assert deadline.remaining_ms() == pytest.approx(300.0)
+        clock.advance(10.0)
+        assert deadline.remaining_ms() == 0.0  # clamped, never negative
+
+
+class TestQueueWaitChargesTheBudget:
+    """Satellite: time spent queued burns the request's own deadline."""
+
+    def test_admission_wait_consumes_the_deadline(self):
+        from repro.service.admission import ADMITTED, EXPIRED, AdmissionController
+
+        clock = ManualClock()
+        controller = AdmissionController(max_inflight=1, max_queue=4, clock=clock)
+        assert controller.admit().outcome == ADMITTED  # occupies the only slot
+
+        # The second request arrives with 50ms of budget already half
+        # spent elsewhere; the admission queue may not wait past it.
+        deadline = Deadline.from_timeout_ms(50.0, clock=clock)
+        clock.advance(0.051)
+        decision = controller.admit(deadline)
+        assert decision.outcome == EXPIRED
+        assert deadline.remaining_ms() == 0.0
+
+    def test_expired_budget_never_reaches_execution(self):
+        from repro.service.app import ServiceApp
+
+        deadline = Deadline(0.0, clock=ManualClock(step=1.0))
+        with pytest.raises(QueryTimeout) as info:
+            ServiceApp._run(None, None, deadline)
+        assert info.value.phase == "admission_queue"
+
 
 class TestFaultSpec:
     def test_bad_kind_rejected(self):

@@ -1,0 +1,258 @@
+"""In-process tests of the service core: admission, degradation, drain.
+
+Everything here drives :class:`~repro.service.app.ServiceApp` directly
+(no sockets); the HTTP adapter has its own suite in
+``test_service_http.py``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import faults
+from repro.core.engine import MIOEngine
+from repro.faults import from_env
+from repro.service.admission import (
+    ADMITTED,
+    DRAINING,
+    EXPIRED,
+    SHED,
+    AdmissionController,
+)
+from repro.service.app import ServiceApp
+from repro.service.config import ServiceConfig
+from repro.errors import InvalidQueryError
+
+from conftest import random_collection
+
+
+@pytest.fixture()
+def collection():
+    return random_collection(25, 5, seed=11)
+
+
+def make_app(collection, **overrides):
+    defaults = dict(port=0, max_inflight=2, max_queue=2)
+    defaults.update(overrides)
+    return ServiceApp(collection, ServiceConfig(**defaults))
+
+
+def post(app, path, payload):
+    return app.handle("POST", path, None, json.dumps(payload).encode())
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"max_inflight": 0},
+        {"max_queue": -1},
+        {"default_timeout_ms": 0},
+        {"max_batch": 0},
+        {"breaker_failures": 0},
+        {"breaker_reset_s": 0.0},
+        {"breaker_reset_s": 5.0, "breaker_max_reset_s": 1.0},
+        {"breaker_jitter": 1.5},
+        {"drain_s": -1.0},
+        {"retry_after_floor_s": 0.0},
+    ])
+    def test_bad_knobs_fail_at_startup(self, overrides):
+        with pytest.raises(InvalidQueryError):
+            ServiceConfig(**overrides)
+
+    def test_clamp_timeout_applies_default_and_cap(self):
+        config = ServiceConfig(default_timeout_ms=100.0, max_timeout_ms=500.0)
+        assert config.clamp_timeout_ms(None) == 100.0
+        assert config.clamp_timeout_ms(200.0) == 200.0
+        assert config.clamp_timeout_ms(10_000.0) == 500.0
+
+
+class TestQueryEndpoints:
+    def test_query_matches_the_engine(self, collection):
+        app = make_app(collection)
+        response = post(app, "/query", {"r": 4.0})
+        expected = MIOEngine(collection).query(4.0)
+        assert response.status == 200
+        assert response.payload["winner"] == expected.winner
+        assert response.payload["score"] == expected.score
+        assert response.payload["exact"] is True
+        assert response.payload["queue_wait_ms"] == 0.0
+
+    def test_topk_requires_k_and_returns_ranking(self, collection):
+        app = make_app(collection)
+        assert post(app, "/topk", {"r": 4.0}).status == 400
+        response = post(app, "/topk", {"r": 4.0, "k": 3})
+        assert response.status == 200
+        assert len(response.payload["topk"]) == 3
+        scores = [score for _, score in response.payload["topk"]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_batch_preserves_order_and_isolation(self, collection):
+        app = make_app(collection)
+        response = post(app, "/batch", {
+            "queries": [4.9, {"r": 4.5, "timeout_ms": 0}, 4.2],
+        })
+        assert response.status == 200
+        results = response.payload["results"]
+        assert [round(r["r"], 1) for r in results] == [4.9, 4.5, 4.2]
+        assert results[0]["exact"] and results[2]["exact"]
+        assert not results[1]["exact"]  # the doomed one degrades alone
+
+    def test_get_query_via_params(self, collection):
+        app = make_app(collection)
+        response = app.handle("GET", "/query", {"r": "4.0"})
+        assert response.status == 200
+        assert response.payload["exact"] is True
+
+
+class TestAdmissionControl:
+    def test_sheds_beyond_queue_capacity(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        assert controller.admit().outcome == ADMITTED
+        assert controller.admit().outcome == SHED
+        controller.release()
+        assert controller.admit().outcome == ADMITTED
+
+    def test_queued_request_admitted_after_release(self):
+        controller = AdmissionController(max_inflight=1, max_queue=2)
+        assert controller.admit().outcome == ADMITTED
+        outcomes = []
+
+        def waiter():
+            outcomes.append(controller.admit().outcome)
+            controller.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        # Wait until the request is queued, then free the slot.
+        for _ in range(1000):
+            if controller.snapshot()["queued"] == 1:
+                break
+            threading.Event().wait(0.001)
+        controller.release()
+        thread.join(timeout=5.0)
+        assert outcomes == [ADMITTED]
+
+    def test_draining_refuses_new_arrivals(self):
+        controller = AdmissionController(max_inflight=1, max_queue=2)
+        controller.begin_drain()
+        assert controller.admit().outcome == DRAINING
+
+    def test_shed_response_is_429_with_retry_after(self, collection):
+        app = make_app(collection, max_inflight=1, max_queue=0)
+        decision = app.admission.admit()
+        assert decision.outcome == ADMITTED  # occupy the only slot
+        try:
+            response = post(app, "/query", {"r": 4.0})
+        finally:
+            app.admission.release()
+        assert response.status == 429
+        assert response.payload["error"] == "ServiceOverloadedError"
+        assert float(response.headers["Retry-After"]) >= 1.0
+        assert app.stats["shed"] == 1
+
+    def test_retry_after_hint_clamped_to_config(self, collection):
+        app = make_app(collection)
+        hint = app.retry_after_hint()
+        assert app.config.retry_after_floor_s <= hint <= app.config.retry_after_cap_s
+
+
+class TestDegradationChain:
+    def test_backend_fault_falls_back_and_still_answers(self, collection):
+        app = make_app(collection)
+        injector = from_env("lower_bounding:fail")
+        faults.install(injector)
+        try:
+            # The fault injector is process-global, so it breaks the
+            # fallback session too; the chain must bottom out in a
+            # well-formed vacuous anytime answer, not an error.
+            response = post(app, "/query", {"r": 4.0})
+        finally:
+            faults.install(None)
+        assert response.status == 200
+        assert response.payload["exact"] is False
+        assert response.payload["winner"] == -1
+        assert any(k.startswith("degraded_") for k in response.payload["notes"])
+
+    def test_primary_only_fault_served_by_fallback(self, collection):
+        app = make_app(collection)
+
+        real_query = app.primary.query
+
+        def broken_query(*args, **kwargs):
+            from repro.errors import InjectedFault
+
+            raise InjectedFault("primary path down", point="backend")
+
+        app.primary.query = broken_query
+        try:
+            response = post(app, "/query", {"r": 4.0})
+        finally:
+            app.primary.query = real_query
+        expected = MIOEngine(collection).query(4.0)
+        assert response.status == 200
+        assert response.payload["winner"] == expected.winner
+        assert response.payload["exact"] is True
+        assert "degraded_path" in response.payload["notes"]
+        assert app.stats["fallback_served"] == 1
+
+    def test_repeated_faults_trip_the_breaker(self, collection):
+        app = make_app(collection, breaker_failures=3)
+
+        def broken_query(*args, **kwargs):
+            from repro.errors import InjectedFault
+
+            raise InjectedFault("primary path down", point="backend")
+
+        app.primary.query = broken_query
+        for _ in range(3):
+            assert post(app, "/query", {"r": 4.0}).status == 200
+        assert app.breaker.state == "open"
+        # With the breaker open the primary path is skipped entirely;
+        # answers keep flowing from the fallback.
+        response = post(app, "/query", {"r": 4.0})
+        assert response.status == 200
+        assert "breaker_open" in response.payload["notes"]["degraded_path"]
+
+    def test_timeout_does_not_count_against_the_breaker(self, collection):
+        app = make_app(collection, breaker_failures=1)
+        response = post(app, "/query", {"r": 4.0, "timeout_ms": 0})
+        assert response.status == 200
+        assert response.payload["exact"] is False
+        assert app.breaker.state == "closed"
+
+
+class TestLifecycle:
+    def test_drain_flips_readyz_and_refuses_queries(self, collection):
+        app = make_app(collection)
+        assert app.handle("GET", "/readyz").status == 200
+        assert app.drain(timeout_s=1.0) is True
+        readyz = app.handle("GET", "/readyz")
+        assert readyz.status == 503
+        assert readyz.payload["ready"] is False
+        response = post(app, "/query", {"r": 4.0})
+        assert response.status == 503
+
+    def test_healthz_stays_alive_while_draining(self, collection):
+        app = make_app(collection)
+        app.begin_drain()
+        assert app.handle("GET", "/healthz").status == 200
+
+    def test_metrics_endpoint_is_valid_prometheus(self, collection):
+        from repro.obs.export import validate_prometheus_text
+
+        app = make_app(collection)
+        post(app, "/query", {"r": 4.0})
+        response = app.handle("GET", "/metrics")
+        assert response.status == 200
+        validate_prometheus_text(response.payload)
+        assert "repro_service_admissions_total" in response.payload
+        assert "repro_service_breaker_state" in response.payload
+
+    def test_snapshot_aggregates_all_layers(self, collection):
+        app = make_app(collection)
+        post(app, "/query", {"r": 4.0})
+        snapshot = app.snapshot()
+        assert snapshot["served"] == 1
+        assert snapshot["admission"]["outcome_admitted"] == 1
+        assert snapshot["breaker"]["state"] == "closed"
+        assert snapshot["session"]["queries"] >= 1

@@ -1,0 +1,131 @@
+"""Unit tests for the circuit breaker, driven by a manual clock.
+
+Every transition in the closed -> open -> half-open machine is exercised
+deterministically: no sleeping, no real time, a seeded RNG for the
+jitter.
+"""
+
+import random
+
+import pytest
+
+from repro.resilience import ManualClock
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make_breaker(clock, jitter=0.0, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_s", 2.0)
+    kwargs.setdefault("max_reset_s", 8.0)
+    return CircuitBreaker(
+        jitter=jitter, clock=clock, rng=random.Random(7), **kwargs
+    )
+
+
+class TestClosedState:
+    def test_allows_until_threshold(self):
+        breaker = make_breaker(ManualClock())
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.on_failure()
+        assert breaker.state == CLOSED
+        breaker.on_failure()  # third consecutive failure trips it
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker = make_breaker(ManualClock())
+        breaker.on_failure()
+        breaker.on_failure()
+        breaker.on_success()
+        breaker.on_failure()
+        breaker.on_failure()
+        assert breaker.state == CLOSED  # never hit 3 *consecutive* failures
+
+
+class TestOpenState:
+    def test_blocks_until_the_reset_interval_elapses(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.on_failure()
+        assert not breaker.allow()
+        clock.advance(1.9)
+        assert not breaker.allow()
+        clock.advance(0.2)  # past reset_s=2.0 (no jitter)
+        assert breaker.state == HALF_OPEN
+
+    def test_jitter_stretches_the_interval(self):
+        clock = ManualClock()
+        rng = random.Random(3)
+        expected = 2.0 * (1.0 + rng.random() * 0.5)
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_s=2.0, max_reset_s=8.0,
+            jitter=0.5, clock=clock, rng=random.Random(3),
+        )
+        breaker.on_failure()
+        clock.advance(expected - 0.01)
+        assert breaker.state == OPEN
+        clock.advance(0.02)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpenState:
+    def _tripped(self, clock):
+        breaker = make_breaker(clock, failure_threshold=1)
+        breaker.on_failure()
+        clock.advance(2.1)
+        assert breaker.state == HALF_OPEN
+        return breaker
+
+    def test_single_probe_only(self):
+        clock = ManualClock()
+        breaker = self._tripped(clock)
+        assert breaker.allow()        # the probe
+        assert not breaker.allow()    # concurrent request: fall back
+        assert not breaker.allow()
+
+    def test_probe_success_closes_and_resets_backoff(self):
+        clock = ManualClock()
+        breaker = self._tripped(clock)
+        assert breaker.allow()
+        breaker.on_success()
+        assert breaker.state == CLOSED
+        assert breaker.snapshot()["reset_s"] == pytest.approx(2.0)
+
+    def test_probe_failure_doubles_the_interval(self):
+        clock = ManualClock()
+        breaker = self._tripped(clock)
+        assert breaker.allow()
+        breaker.on_failure()
+        assert breaker.state == OPEN
+        assert breaker.snapshot()["reset_s"] == pytest.approx(4.0)
+        clock.advance(2.1)
+        assert breaker.state == OPEN   # the old interval no longer suffices
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_backoff_caps_at_max_reset(self):
+        clock = ManualClock()
+        breaker = self._tripped(clock)
+        for _ in range(5):  # repeated failed probes: 4, 8, capped at 8
+            clock.advance(100.0)
+            assert breaker.state == HALF_OPEN
+            assert breaker.allow()
+            breaker.on_failure()
+        assert breaker.snapshot()["reset_s"] == pytest.approx(8.0)
+
+
+class TestTelemetry:
+    def test_snapshot_counts_transitions(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock, failure_threshold=1)
+        breaker.on_failure()
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.on_success()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == CLOSED
+        assert snapshot["transitions"][OPEN] == 1
+        assert snapshot["transitions"][HALF_OPEN] == 1
+        assert snapshot["transitions"][CLOSED] == 1

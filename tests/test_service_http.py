@@ -1,0 +1,217 @@
+"""End-to-end tests over real sockets: server, client, retries, drain.
+
+These spin up :class:`~repro.service.server.MIOServer` on an ephemeral
+port and talk to it with the bundled retry client; a couple of scenarios
+drive genuine concurrent load to exercise shedding and graceful
+shutdown under traffic.
+"""
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import MIOEngine
+from repro.errors import BackendUnavailableError, ServiceOverloadedError
+from repro.service import (
+    MIOServer,
+    ServiceApp,
+    ServiceClient,
+    ServiceConfig,
+    serve,
+)
+
+from conftest import random_collection
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return random_collection(25, 5, seed=13)
+
+
+@pytest.fixture()
+def server(collection):
+    instance = serve(collection, ServiceConfig(port=0, max_inflight=2, max_queue=4))
+    yield instance
+    instance.shutdown_gracefully()
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    return ServiceClient(host, port, timeout_s=10.0)
+
+
+class TestRoundTrips:
+    def test_query_matches_the_engine(self, collection, server, client):
+        expected = MIOEngine(collection).query(4.0)
+        payload = client.query(4.0)
+        assert payload["winner"] == expected.winner
+        assert payload["score"] == expected.score
+        assert payload["exact"] is True
+
+    def test_topk_and_batch(self, server, client):
+        assert len(client.topk(4.0, 3)["topk"]) == 3
+        batch = client.batch([{"r": 4.0}, {"r": 4.5, "k": 2}])
+        assert batch["count"] == 2
+
+    def test_health_ready_metrics(self, server, client):
+        assert client.healthz()["status"] == "ok"
+        assert client.readyz()["ready"] is True
+        text = client.metrics_text()
+        assert "repro_service_responses_total" in text
+
+    def test_bad_input_maps_back_to_taxonomy(self, server, client):
+        from repro.errors import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError):
+            client.query("junk")
+
+    def test_unreachable_server_is_backend_unavailable(self):
+        client = ServiceClient("127.0.0.1", 1, timeout_s=0.5)
+        with pytest.raises(BackendUnavailableError):
+            client.healthz()
+
+
+class TestClientRetries:
+    def _overloaded_client(self, server, sleeps, retries=2):
+        host, port = server.address
+        return ServiceClient(
+            host, port,
+            max_retries=retries, backoff_s=0.01,
+            rng=random.Random(5), sleep=sleeps.append,
+        )
+
+    def test_retry_honors_retry_after(self, collection):
+        app = ServiceApp(collection, ServiceConfig(port=0, max_inflight=1, max_queue=0))
+        server = MIOServer(app).start()
+        sleeps = []
+        try:
+            decision = app.admission.admit()  # wedge the only slot
+            assert decision.admitted
+            client = self._overloaded_client(server, sleeps)
+            with pytest.raises(ServiceOverloadedError) as info:
+                client.query(4.0)
+            assert info.value.retry_after is not None
+        finally:
+            app.admission.release()
+            server.shutdown_gracefully()
+        # Every backoff slept at least the server's hint (header is
+        # integer-seconds, so >= 1s here), and the client gave up after
+        # its retry budget.
+        assert len(sleeps) == 2
+        assert all(delay >= 1.0 for delay in sleeps)
+
+    def test_retry_succeeds_once_capacity_frees(self, collection):
+        app = ServiceApp(collection, ServiceConfig(port=0, max_inflight=1, max_queue=0))
+        server = MIOServer(app).start()
+        try:
+            decision = app.admission.admit()
+            assert decision.admitted
+
+            def free_on_first_sleep(delay):
+                app.admission.release()
+
+            host, port = server.address
+            client = ServiceClient(
+                host, port, max_retries=3, backoff_s=0.01,
+                rng=random.Random(5), sleep=free_on_first_sleep,
+            )
+            payload = client.query(4.0)
+            assert payload["exact"] is True
+            assert client.retries == 1
+        finally:
+            server.shutdown_gracefully()
+
+
+class TestOverloadScenario:
+    """Offered load >= 2x capacity: shed cleanly, never collapse."""
+
+    def test_overload_sheds_with_429_and_serves_the_rest(self, collection):
+        app = ServiceApp(
+            collection,
+            ServiceConfig(port=0, max_inflight=2, max_queue=2,
+                          default_timeout_ms=2000.0),
+        )
+        server = MIOServer(app).start()
+        host, port = server.address
+        statuses = []
+        lock = threading.Lock()
+
+        def fire():
+            client = ServiceClient(host, port, max_retries=0, timeout_s=30.0)
+            try:
+                payload = client.query(4.5)
+                code = 200 if payload else 0
+            except ServiceOverloadedError:
+                code = 429
+            with lock:
+                statuses.append(code)
+
+        threads = [threading.Thread(target=fire) for _ in range(16)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+        finally:
+            server.shutdown_gracefully()
+
+        assert len(statuses) == 16
+        served = statuses.count(200)
+        shed = statuses.count(429)
+        assert served + shed == 16          # nothing vanished or 500ed
+        assert served >= app.config.max_inflight + app.config.max_queue
+        snapshot = app.snapshot()
+        assert snapshot["shed"] == shed
+        assert snapshot["admission"]["outcome_shed"] == shed
+
+
+class TestGracefulShutdown:
+    def test_drain_finishes_inflight_work(self, collection):
+        app = ServiceApp(
+            collection,
+            ServiceConfig(port=0, max_inflight=2, max_queue=4, drain_s=10.0),
+        )
+        server = MIOServer(app).start()
+        host, port = server.address
+        payloads = []
+
+        def slow_query():
+            client = ServiceClient(host, port, max_retries=0, timeout_s=30.0)
+            payloads.append(client.batch([{"r": 4.0}, {"r": 4.5}, {"r": 4.9}]))
+
+        worker = threading.Thread(target=slow_query)
+        worker.start()
+        # Let the batch reach execution, then shut down underneath it.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if app.admission.snapshot()["inflight"] > 0:
+                break
+            time.sleep(0.002)
+        drained = server.shutdown_gracefully()
+        worker.join(timeout=30.0)
+        assert drained is True
+        assert len(payloads) == 1 and payloads[0]["count"] == 3
+        assert app.ready is False
+
+    def test_shutdown_is_idempotent(self, collection):
+        server = serve(collection, ServiceConfig(port=0))
+        assert server.shutdown_gracefully() is True
+        # A second drain finds nothing in flight and succeeds again.
+        assert server.app.drain(timeout_s=0.5) is True
+
+    def test_requests_during_drain_get_503(self, collection):
+        app = ServiceApp(collection, ServiceConfig(port=0))
+        server = MIOServer(app).start()
+        host, port = server.address
+        app.begin_drain()
+        try:
+            client = ServiceClient(host, port, max_retries=0)
+            with pytest.raises(ServiceOverloadedError):
+                client.query(4.0)
+            assert client.readyz()["ready"] is False
+        finally:
+            server.shutdown_gracefully()

@@ -17,7 +17,7 @@ from repro.core.labels import LabelStore, labels_match_collection
 from repro.core.objects import ObjectCollection
 from repro.dynamic import DynamicMIO
 from repro.errors import InvalidQueryError
-from repro.session import QueryRequest, QuerySession, _normalize
+from repro.session import QueryRequest, QuerySession, normalize_request as _normalize
 
 from conftest import oracle_scores, random_collection
 
