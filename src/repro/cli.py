@@ -287,6 +287,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if result.topk:
         for rank, (oid, score) in enumerate(result.topk, start=1):
             print(f"  #{rank}: o_{oid} (tau = {score})")
+    for key, note in sorted(result.notes.items()):
+        print(f"note      : {key}: {note}")
     print(f"time      : {result.total_time:.4f} s")
     print("\nspan tree:")
     print(render_span_tree(tracer.root, indent="  "))

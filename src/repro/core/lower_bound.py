@@ -34,6 +34,10 @@ class LowerBoundResult:
     #: The union bitsets ``b(o_i)`` (bit ``i`` included), kept only when the
     #: caller needs them to seed verification in with-label mode.
     bitsets: Optional[List[Optional[Bitset]]]
+    #: Which implementation produced the bounds (``reference``, or a
+    #: kernel-specific label such as ``numpy-seq`` / ``numpy-reduceat``).
+    #: Purely observational -- every path is bit-identical.
+    path: str = "reference"
 
 
 class LowerBoundCache:

@@ -50,7 +50,6 @@ from repro import faults
 from repro.bitset.factory import resolve_backend
 from repro.core.labels import PointLabels, labels_match_collection
 from repro.core.query import MIOResult, PhaseStats
-from repro.core.verification import verify_candidates
 from repro.grid.bigrid import BIGrid
 from repro.kernels import resolve_kernel
 from repro.obs import metrics as obs_metrics
@@ -363,6 +362,7 @@ class LowerBoundingStage(Stage):
                 ctx.lower_cache.put(ctx.r, lower)
         span.set_attribute("tau_max_low", lower.tau_max)
         ctx.lower = lower
+        ctx.notes["lower_bound_path"] = lower.path
         ctx.threshold = (
             lower.tau_max if ctx.k == 1 else kth_largest(lower.values, ctx.k)
         )
@@ -400,7 +400,7 @@ class VerificationStage(Stage):
 
     def run(self, ctx: QueryContext, span) -> None:
         lower = ctx.lower
-        verification = verify_candidates(
+        verification = ctx.kernel.verify_candidates(
             ctx.bigrid,
             ctx.upper.candidates,
             ctx.r,
@@ -414,15 +414,16 @@ class VerificationStage(Stage):
             labeler=ctx.labeler,
             stats=ctx.stats,
             deadline=ctx.deadline,
-            kernel=ctx.kernel,
         )
         ctx.verification = verification
+        ctx.notes["verification_path"] = verification.path
         ctx.stats.set_count("candidates_total", len(ctx.upper.candidates))
         ctx.stats.set_count("candidates_settled", verification.verified)
         span.set_attributes(
             candidates=len(ctx.upper.candidates),
             settled=verification.verified,
             timed_out=verification.timed_out,
+            path=verification.path,
         )
 
 

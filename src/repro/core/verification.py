@@ -47,13 +47,17 @@ class VerificationResult:
     #: of them is a *verified lower bound* on the optimum (Corollary 1) and
     #: the engine can return it as an anytime answer.
     timed_out: bool = False
+    #: Which implementation scored the candidates ("reference",
+    #: "numpy-batch", "parallel-chunked").  Informational only — every path
+    #: is bit-exact — surfaced through ``repro explain`` notes.
+    path: str = "reference"
 
 
 MaskProvider = Callable[[int], np.ndarray]
 BitsetProvider = Callable[[int], Optional[Bitset]]
 
 
-class _Counters:
+class VerifyCounters:
     """Work counters accumulated across all verified candidates."""
 
     __slots__ = ("distance_rows", "posting_checks", "points_skipped")
@@ -62,6 +66,74 @@ class _Counters:
         self.distance_rows = 0
         self.posting_checks = 0
         self.points_skipped = 0
+
+
+def best_first_verification(
+    candidates: List[Candidate],
+    k: int,
+    exact_score: Callable[[int], int],
+    counters: VerifyCounters,
+    stats: Optional[PhaseStats] = None,
+    deadline: Optional[Deadline] = None,
+    path: str = "reference",
+) -> VerificationResult:
+    """The best-first outer loop of VERIFICATION, scorer-agnostic.
+
+    Kernel backends plug their own ``exact_score`` (reference walk or
+    batched block evaluation) under the *same* threshold updates, early
+    termination, deadline checks, and heap/ranking semantics, so every
+    backend shares one provably identical driver.  ``exact_score`` may
+    raise :class:`QueryTimeout`; the in-flight candidate is then dropped
+    and the settled prefix is returned with ``timed_out=True``.
+    """
+    if k < 1:
+        raise InvalidQueryError("k must be at least 1")
+    #: Min-heap of the k best ``(score, -oid)`` pairs seen so far.
+    best_heap: List[Tuple[int, int]] = []
+    verified = 0
+    early = False
+    timed_out = False
+
+    for upper, oid in candidates:
+        threshold = best_heap[0][0] if len(best_heap) >= k else -1
+        if upper <= threshold:
+            early = True
+            break
+        if deadline is not None and deadline.expired():
+            timed_out = True
+            break
+        try:
+            score = exact_score(oid)
+        except QueryTimeout:
+            # The in-flight candidate's partial bitset is not an exact score;
+            # drop it and surface what is already settled.
+            timed_out = True
+            break
+        verified += 1
+        entry = (score, -oid)
+        if len(best_heap) < k:
+            heappush(best_heap, entry)
+        elif entry > best_heap[0]:
+            heappushpop(best_heap, entry)
+
+    ranking = sorted(
+        ((-neg_oid, score) for score, neg_oid in best_heap),
+        key=lambda item: (-item[1], item[0]),
+    )
+    if stats is not None:
+        stats.set_count("verified_objects", verified)
+        stats.set_count("distance_rows", counters.distance_rows)
+        stats.set_count("posting_checks", counters.posting_checks)
+        stats.set_count("verify_points_skipped", counters.points_skipped)
+        stats.set_count("early_terminated", int(early))
+        stats.set_count("verification_timed_out", int(timed_out))
+    return VerificationResult(
+        ranking=ranking,
+        verified=verified,
+        early_terminated=early,
+        timed_out=timed_out,
+        path=path,
+    )
 
 
 def verify_candidates(
@@ -91,53 +163,18 @@ def verify_candidates(
     the answer is identical — kernels may only change *how* the same
     comparisons are evaluated (e.g. early-exit chunking per Corollary 1).
     """
-    if k < 1:
-        raise InvalidQueryError("k must be at least 1")
-    #: Min-heap of the k best ``(score, -oid)`` pairs seen so far.
-    best_heap: List[Tuple[int, int]] = []
-    counters = _Counters()
-    verified = 0
-    early = False
-    timed_out = False
-
-    for upper, oid in candidates:
-        threshold = best_heap[0][0] if len(best_heap) >= k else -1
-        if upper <= threshold:
-            early = True
-            break
-        if deadline is not None and deadline.expired():
-            timed_out = True
-            break
-        try:
-            score = _exact_score(
-                bigrid, oid, r, initial_bitsets, verify_masks, labeler, counters,
-                deadline, kernel,
-            )
-        except QueryTimeout:
-            # The in-flight candidate's partial bitset is not an exact score;
-            # drop it and surface what is already settled.
-            timed_out = True
-            break
-        verified += 1
-        entry = (score, -oid)
-        if len(best_heap) < k:
-            heappush(best_heap, entry)
-        elif entry > best_heap[0]:
-            heappushpop(best_heap, entry)
-
-    ranking = sorted(
-        ((-neg_oid, score) for score, neg_oid in best_heap),
-        key=lambda item: (-item[1], item[0]),
-    )
-    if stats is not None:
-        stats.set_count("verified_objects", verified)
-        stats.set_count("distance_rows", counters.distance_rows)
-        stats.set_count("posting_checks", counters.posting_checks)
-        stats.set_count("verify_points_skipped", counters.points_skipped)
-        stats.set_count("early_terminated", int(early))
-        stats.set_count("verification_timed_out", int(timed_out))
-    return VerificationResult(
-        ranking=ranking, verified=verified, early_terminated=early, timed_out=timed_out
+    counters = VerifyCounters()
+    return best_first_verification(
+        candidates,
+        k,
+        lambda oid: _exact_score(
+            bigrid, oid, r, initial_bitsets, verify_masks, labeler, counters,
+            deadline, kernel,
+        ),
+        counters,
+        stats=stats,
+        deadline=deadline,
+        path="reference",
     )
 
 
@@ -148,7 +185,7 @@ def _exact_score(
     initial_bitsets: Optional[BitsetProvider],
     verify_masks: Optional[MaskProvider],
     labeler: Optional[PointLabels],
-    counters: _Counters,
+    counters: VerifyCounters,
     deadline: Optional[Deadline] = None,
     kernel=None,
 ) -> int:

@@ -80,6 +80,34 @@ class KernelBackend:
         """UPPER-BOUNDING + pruning (Algorithm 5) over ``P_{i,K}``."""
         raise NotImplementedError
 
+    def verify_candidates(
+        self,
+        bigrid,
+        candidates,
+        r: float,
+        k: int = 1,
+        initial_bitsets=None,
+        verify_masks=None,
+        labeler=None,
+        stats=None,
+        deadline=None,
+    ):
+        """VERIFICATION (Algorithm 6 / top-k): best-first exact scoring.
+
+        Dequeues ``candidates`` (``(upper, oid)`` pairs, already sorted by
+        descending upper bound) and computes exact scores until the next
+        upper bound cannot beat the k-th best exact score.  Backends must
+        preserve the reference semantics *exactly*: the early-termination
+        threshold, the per-candidate deadline check and per-group
+        checkpoint order, the Labeling-3 marks, and the work counters
+        (``verified_objects``, ``distance_rows``, ``posting_checks``,
+        ``verify_points_skipped``) must all match the reference oracle
+        bit-for-bit.  Returns a
+        :class:`repro.core.verification.VerificationResult` whose ``path``
+        names the implementation that ran.
+        """
+        raise NotImplementedError
+
     def any_within(
         self, candidate_points: np.ndarray, point: np.ndarray, r_squared: float
     ) -> bool:

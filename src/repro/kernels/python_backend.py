@@ -14,6 +14,7 @@ from typing import List
 
 import numpy as np
 
+from repro.core import verification
 from repro.core.lower_bound import compute_lower_bounds
 from repro.core.upper_bound import compute_upper_bounds
 from repro.grid.bigrid import BIGrid
@@ -63,6 +64,31 @@ class PythonKernel(KernelBackend):
             labeler=labeler,
             stats=stats,
             deadline=deadline,
+        )
+
+    def verify_candidates(
+        self,
+        bigrid,
+        candidates,
+        r,
+        k=1,
+        initial_bitsets=None,
+        verify_masks=None,
+        labeler=None,
+        stats=None,
+        deadline=None,
+    ):
+        return verification.verify_candidates(
+            bigrid,
+            candidates,
+            r,
+            k=k,
+            initial_bitsets=initial_bitsets,
+            verify_masks=verify_masks,
+            labeler=labeler,
+            stats=stats,
+            deadline=deadline,
+            kernel=None,
         )
 
     def any_within(

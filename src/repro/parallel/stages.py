@@ -175,6 +175,7 @@ class ParallelVerificationStage(ParallelStage):
         )
         ctx.ranking = ranking
         ctx.verified = verified
+        ctx.notes["verification_path"] = "parallel-chunked"
         self.seal(ctx, span, report)
         span.set_attributes(settled=verified)
 
@@ -206,6 +207,7 @@ class ParallelFinalizeStage(Stage):
                 "verified_objects": ctx.verified,
             },
             memory_bytes=ctx.bigrid.memory_bytes(),
+            notes=ctx.notes,
             extra=ctx.extra,
         )
 

@@ -28,7 +28,6 @@ from typing import Iterator, Optional
 
 from repro.core.objects import ObjectCollection
 from repro.core.pipeline import FILTER_PIPELINE, QueryContext
-from repro.core.verification import verify_candidates
 from repro.errors import InvalidQueryError
 from repro.resilience import Deadline
 
@@ -113,10 +112,9 @@ def query_progressive(
             break
         if deadline is not None and deadline.expired():
             return  # the last yielded state stands as the anytime answer
-        # Verify exactly one candidate by scoring it in isolation.
-        result = verify_candidates(
-            bigrid, [(upper_bound, oid)], r, k=1, kernel=ctx.kernel
-        )
+        # Verify exactly one candidate by scoring it in isolation (through
+        # the kernel seam, so the batched scorer serves progressive too).
+        result = ctx.kernel.verify_candidates(bigrid, [(upper_bound, oid)], r, k=1)
         score = result.ranking[0][1]
         verified += 1
         if score > best_score or (score == best_score and oid < best_oid):

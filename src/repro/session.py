@@ -481,6 +481,7 @@ class QuerySession:
             # whichever layer produced it (engine verification timeout here,
             # pre-verification expiry in _timeout_result above).
             result.notes["degraded_deadline"] = "verification"
+        verify_path = result.notes.get("verification_path")
         with self._stats_lock:
             self.counters["queries"] += 1
             if with_label:
@@ -492,6 +493,12 @@ class QuerySession:
                 self.counters["anytime_results"] += 1
             if parallel:
                 self.counters["parallel_queries"] += 1
+            if verify_path:
+                # Per-implementation tally (e.g. verify_path_numpy_batch):
+                # which verification scorer actually served the session's
+                # traffic, for `repro explain` and capacity planning.
+                key = "verify_path_" + verify_path.replace("-", "_")
+                self.counters[key] = self.counters.get(key, 0) + 1
         result.counters["session_label_hit"] = int(with_label)
         result.counters["session_points_skipped"] = skipped
 

@@ -16,10 +16,16 @@ so in the commit.
 
 import pytest
 
+from repro.core.engine import MIOEngine
 from repro.core.temporal import TemporalMIOEngine
+from repro.kernels import numpy_kernel_available
 from repro.progressive import query_progressive
+from repro.session import QuerySession
 
 from conftest import random_collection
+
+KERNELS = ("python", "numpy") if numpy_kernel_available() else ("python",)
+BITSET_BACKENDS = ("ewah", "plain", "roaring")
 
 # (r, delta) -> (winner, score) on random_collection(30, 6, seed=42, ts=True)
 TEMPORAL_GOLDEN = {
@@ -51,6 +57,44 @@ PROGRESSIVE_GOLDEN = {
 }
 
 
+# Verification-heavy fixtures: large r on a clustered collection leaves
+# most of the collection as candidates after filtering, so VERIFICATION
+# dominates — exactly the regime the batched kernel verifier runs in.
+# Tuples are (winner, score, candidates, verified_objects, distance_rows,
+# posting_checks, verify_points_skipped, early_terminated), generated with
+# the pre-batching python reference and cross-checked against the oracle.
+VERIFY_HEAVY_GOLDEN = {
+    5.0: (4, 18, 19, 4, 346, 190, 0, 1),
+    8.0: (4, 20, 24, 16, 1669, 762, 0, 1),
+    12.0: (4, 21, 28, 25, 7105, 2273, 0, 1),
+}
+
+# The with-label session path on the same collection: repeated ceilings
+# replay labels, so later queries skip labeled points (high coverage —
+# 43 and 62 of ~320 points) while the answers and distance work stay
+# pinned.  Tuples as above, preceded by the algorithm that must run.
+SESSION_LABEL_GOLDEN = [
+    (12.0, "bigrid", (4, 21, 28, 25, 5385, 1901, 0, 1)),
+    (9.0, "bigrid", (4, 20, 27, 13, 1228, 534, 0, 1)),
+    (12.0, "bigrid-label", (4, 21, 28, 25, 5385, 1901, 43, 1)),
+    (9.0, "bigrid-label", (4, 20, 27, 13, 1228, 534, 62, 1)),
+]
+
+_VERIFY_COUNTER_KEYS = (
+    "candidates",
+    "verified_objects",
+    "distance_rows",
+    "posting_checks",
+    "verify_points_skipped",
+    "early_terminated",
+)
+
+
+@pytest.fixture(scope="module")
+def verify_heavy_collection():
+    return random_collection(n=40, mean_points=8, seed=77)
+
+
 @pytest.fixture(scope="module")
 def temporal_collection():
     return random_collection(n=30, mean_points=6, seed=42, with_timestamps=True)
@@ -59,6 +103,42 @@ def temporal_collection():
 @pytest.fixture(scope="module")
 def progressive_collection():
     return random_collection(n=25, mean_points=6, seed=7)
+
+
+class TestVerificationHeavyGolden:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("backend", BITSET_BACKENDS)
+    @pytest.mark.parametrize("r", sorted(VERIFY_HEAVY_GOLDEN))
+    def test_engine_query_matches_golden(
+        self, verify_heavy_collection, r, backend, kernel
+    ):
+        result = MIOEngine(
+            verify_heavy_collection, backend=backend, kernel=kernel
+        ).query(r)
+        winner, score, *counters = VERIFY_HEAVY_GOLDEN[r]
+        assert result.exact
+        assert (result.winner, result.score) == (winner, score)
+        assert [
+            result.counters[key] for key in _VERIFY_COUNTER_KEYS
+        ] == counters
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("backend", BITSET_BACKENDS)
+    def test_session_label_sequence_matches_golden(
+        self, verify_heavy_collection, backend, kernel
+    ):
+        session = QuerySession(
+            verify_heavy_collection, backend=backend, kernel=kernel
+        )
+        for r, algorithm, golden in SESSION_LABEL_GOLDEN:
+            result = session.query(r)
+            winner, score, *counters = golden
+            assert result.algorithm == algorithm, r
+            assert result.exact
+            assert (result.winner, result.score) == (winner, score), r
+            assert [
+                result.counters[key] for key in _VERIFY_COUNTER_KEYS
+            ] == counters, r
 
 
 class TestTemporalGolden:

@@ -16,6 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import MIOEngine
+from repro.core.objects import ObjectCollection
 from repro.core.query import PhaseStats
 from repro.errors import InvalidQueryError
 from repro.kernels import (
@@ -87,7 +88,13 @@ def assert_bigrids_equal(a, b):
 
 
 def assert_results_equal(a, b):
-    """End-to-end result equality, ignoring only wall-clock fields."""
+    """End-to-end result equality, ignoring only wall-clock fields.
+
+    ``verification_path`` and ``lower_bound_path`` are the two notes that
+    legitimately name the backend that ran (they are informational, never
+    answer-affecting), so they are excluded from the notes comparison.
+    """
+    _PATH_NOTES = ("verification_path", "lower_bound_path")
     assert a.algorithm == b.algorithm
     assert a.r == b.r
     assert (a.winner, a.score) == (b.winner, b.score)
@@ -95,7 +102,9 @@ def assert_results_equal(a, b):
     assert a.counters == b.counters
     assert a.memory_bytes == b.memory_bytes
     assert a.exact == b.exact
-    assert a.notes == b.notes
+    notes_a = {k: v for k, v in a.notes.items() if k not in _PATH_NOTES}
+    notes_b = {k: v for k, v in b.notes.items() if k not in _PATH_NOTES}
+    assert notes_a == notes_b
 
 
 # ----------------------------------------------------------------------
@@ -186,6 +195,180 @@ class TestOperationConformance:
         point = np.zeros(2)
         assert numpy_kernel().any_within(candidates, point, 1.0)
         assert not numpy_kernel().any_within(candidates[:-1], point, 1.0)
+
+
+# ----------------------------------------------------------------------
+# verify_candidates: the best-first verification op
+# ----------------------------------------------------------------------
+
+
+class RecordingCandidates(list):
+    """A candidate list that records its dequeue order.
+
+    Best-first verification consumes candidates lazily and stops on the
+    early-termination threshold (or the deadline), so the sequence of
+    dequeued oids *is* the visit order — including the final peeked-but-
+    unscored candidate that triggered early exit.  Recording it makes the
+    early-exit order a first-class differential observable instead of an
+    inference from ``verified_objects``.
+    """
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.visited = []
+
+    def __iter__(self):
+        for item in super().__iter__():
+            self.visited.append(item[1])
+            yield item
+
+
+def run_verify(kernel, collection, r, backend="ewah", k=1, seed_bitsets=False,
+               deadline=None, candidates=None):
+    """Run the full filter pipeline with ``kernel`` and verify the survivors.
+
+    Returns ``(result, stats, visited_oids)``.  ``candidates`` overrides the
+    upper-bounding output (for hand-built degenerate candidate sets);
+    ``seed_bitsets`` exercises the with-label seeding path by feeding the
+    lower-bounding union bitsets into verification.
+    """
+    grid = kernel.build_bigrid(collection, r, backend=backend)
+    lower = kernel.lower_bounds(grid, keep_bitsets=seed_bitsets)
+    if candidates is None:
+        candidates = kernel.upper_bounds(grid, lower.tau_max).candidates
+    recorder = RecordingCandidates(candidates)
+    stats = PhaseStats("verification")
+    initial = (lambda oid: lower.bitsets[oid]) if seed_bitsets else None
+    result = kernel.verify_candidates(
+        grid, recorder, r, k=k, initial_bitsets=initial, stats=stats,
+        deadline=deadline,
+    )
+    return result, stats, recorder.visited
+
+
+def assert_verifications_equal(ref, got):
+    ref_result, ref_stats, ref_visited = ref
+    got_result, got_stats, got_visited = got
+    assert ref_result.ranking == got_result.ranking
+    assert ref_result.verified == got_result.verified
+    assert ref_result.early_terminated == got_result.early_terminated
+    assert ref_result.timed_out == got_result.timed_out
+    assert ref_stats.counters == got_stats.counters
+    assert ref_visited == got_visited
+    assert ref_result.path == "reference"
+    assert got_result.path.startswith("numpy-")
+
+
+@needs_numpy
+class TestVerifyCandidatesConformance:
+    @pytest.mark.parametrize("backend", BITSET_BACKENDS)
+    @pytest.mark.parametrize("dimension", [2, 3])
+    @pytest.mark.parametrize("r", [0.9, 2.5, 6.0])
+    def test_verify_candidates_bit_exact(self, backend, dimension, r):
+        collection = random_collection(
+            n=40, mean_points=8, dimension=dimension, seed=11 * dimension
+        )
+        ref = run_verify(PYTHON_KERNEL, collection, r, backend=backend)
+        got = run_verify(numpy_kernel(), collection, r, backend=backend)
+        assert_verifications_equal(ref, got)
+
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_topk_thresholds_match(self, k):
+        collection = random_collection(n=45, mean_points=8, seed=41)
+        ref = run_verify(PYTHON_KERNEL, collection, 3.0, k=k)
+        got = run_verify(numpy_kernel(), collection, 3.0, k=k)
+        assert_verifications_equal(ref, got)
+
+    @pytest.mark.parametrize("r", [1.2, 4.0])
+    def test_seeded_bitsets_match(self, r):
+        # The with-label mode seeds b(o_i) with the lower-bounding union;
+        # seeded candidates skip distance work, shrinking the counters —
+        # identically on both backends.
+        collection = random_collection(n=40, mean_points=8, seed=43)
+        ref = run_verify(PYTHON_KERNEL, collection, r, seed_bitsets=True)
+        got = run_verify(numpy_kernel(), collection, r, seed_bitsets=True)
+        assert_verifications_equal(ref, got)
+
+    @pytest.mark.parametrize("budget", [0.0, 1.0, 3.0, 7.0, 15.0, 40.0])
+    def test_deadline_expiry_parity(self, budget):
+        # A step clock expires the deadline after exactly ``budget`` reads.
+        # Both backends must poll the deadline at the same points (one read
+        # per dequeued candidate, one per visited point group), so every
+        # budget must cut verification at the same candidate and produce
+        # the same settled prefix.
+        from repro.resilience import Deadline, ManualClock
+
+        collection = random_collection(n=40, mean_points=8, seed=47)
+        ref = run_verify(
+            PYTHON_KERNEL, collection, 4.0,
+            deadline=Deadline(budget, clock=ManualClock(step=1.0)),
+        )
+        got = run_verify(
+            numpy_kernel(), collection, 4.0,
+            deadline=Deadline(budget, clock=ManualClock(step=1.0)),
+        )
+        assert_verifications_equal(ref, got)
+
+    def test_some_budget_times_out_mid_run(self):
+        # Guard the parametrization above against vacuity: the smallest
+        # budget must actually fire, and a huge one must not.
+        from repro.resilience import Deadline, ManualClock
+
+        collection = random_collection(n=40, mean_points=8, seed=47)
+        cut, _, _ = run_verify(
+            numpy_kernel(), collection, 4.0,
+            deadline=Deadline(0.0, clock=ManualClock(step=1.0)),
+        )
+        assert cut.timed_out and cut.verified == 0
+        full, _, _ = run_verify(
+            numpy_kernel(), collection, 4.0,
+            deadline=Deadline(1e9, clock=ManualClock(step=1.0)),
+        )
+        assert not full.timed_out and full.verified > 0
+
+    def test_empty_candidates(self):
+        collection = random_collection(n=20, mean_points=5, seed=53)
+        ref = run_verify(PYTHON_KERNEL, collection, 2.0, candidates=[])
+        got = run_verify(numpy_kernel(), collection, 2.0, candidates=[])
+        assert_verifications_equal(ref, got)
+        assert ref[0].ranking == []
+        assert ref[0].verified == 0
+
+    def test_single_object_collection(self):
+        collection = ObjectCollection.from_point_arrays(
+            [np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.25]])]
+        )
+        ref = run_verify(PYTHON_KERNEL, collection, 2.0, candidates=[(0, 0)])
+        got = run_verify(numpy_kernel(), collection, 2.0, candidates=[(0, 0)])
+        assert_verifications_equal(ref, got)
+        assert ref[0].ranking == [(0, 0)]
+
+    def test_duplicate_coordinates(self):
+        # Objects stacked on identical points: every pair interacts, all
+        # postings collapse onto few cells, and scores tie everywhere.
+        stack = np.array([[1.0, 1.0], [1.0, 1.0], [2.5, 2.5]])
+        collection = ObjectCollection.from_point_arrays([stack.copy() for _ in range(6)])
+        ref = run_verify(PYTHON_KERNEL, collection, 1.5)
+        got = run_verify(numpy_kernel(), collection, 1.5)
+        assert_verifications_equal(ref, got)
+
+    def test_all_tied_upper_bounds(self):
+        # Hand-built candidate list where every upper bound ties at n-1:
+        # no early exit is possible until the very last dequeue, so the
+        # whole collection is verified in oid order on both backends.
+        collection = random_collection(n=25, mean_points=6, seed=59)
+        tied = [(collection.n - 1, oid) for oid in range(collection.n)]
+        ref = run_verify(PYTHON_KERNEL, collection, 2.0, candidates=list(tied))
+        got = run_verify(numpy_kernel(), collection, 2.0, candidates=list(tied))
+        assert_verifications_equal(ref, got)
+        assert ref[2] == [oid for _, oid in tied]
+
+    @given(collection=collections(), r=radii, k=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_verify_parity(self, collection, r, k):
+        ref = run_verify(PYTHON_KERNEL, collection, r, k=k)
+        got = run_verify(numpy_kernel(), collection, r, k=k)
+        assert_verifications_equal(ref, got)
 
 
 # ----------------------------------------------------------------------

@@ -1,11 +1,13 @@
 """Unit tests for lower-bounding (Algorithm 4 / Lemma 1)."""
 
 import numpy as np
+import pytest
 
 from repro.core.lower_bound import compute_lower_bounds
 from repro.core.objects import ObjectCollection
 from repro.core.query import PhaseStats
 from repro.grid.bigrid import BIGrid
+from repro.kernels import numpy_kernel_available
 
 from conftest import oracle_scores, random_collection
 
@@ -85,3 +87,105 @@ class TestStats:
         assert stats.counters["lower_or_operations"] == sum(
             len(keys) for keys in bigrid.key_lists
         )
+
+
+@pytest.mark.skipif(
+    not numpy_kernel_available(), reason="numpy kernel unavailable here"
+)
+class TestNumpyDispatch:
+    """Pin the numpy kernel's size-based dispatch for lower-bounding.
+
+    Fixed numpy dispatch overhead (flatnonzero + cumsum + reduceat) loses
+    to a sequential big-int pass on small grids, so the kernel routes
+    single-word grids below ``LOWER_BOUND_DISPATCH_MIN_ROWS`` shared rows
+    to the reference algorithm over the pre-gathered packed words.  These
+    tests pin the dispatch boundary (observable via ``LowerBoundResult
+    .path``) and prove both paths bit-identical on the same grid.
+    """
+
+    @staticmethod
+    def _kernel():
+        from repro.kernels.numpy_backend import NUMPY_KERNEL
+
+        return NUMPY_KERNEL
+
+    @staticmethod
+    def _backend_module():
+        from repro.kernels import numpy_backend
+
+        return numpy_backend
+
+    def test_tiny_grid_takes_sequential_path(self):
+        # 20 objects -> one bitset word, far fewer than 768 shared rows.
+        collection = random_collection(n=20, mean_points=5, seed=61)
+        grid = self._kernel().build_bigrid(collection, 2.0)
+        assert grid.shared_words.shape[0] < 768
+        result = self._kernel().lower_bounds(grid)
+        assert result.path == "numpy-seq"
+
+    def test_empty_grid_takes_sequential_path(self):
+        # Isolated objects share no small cell: zero rows, trivially tiny.
+        collection = ObjectCollection.from_point_arrays(
+            [np.array([[0.0, 0.0]]), np.array([[500.0, 500.0]])]
+        )
+        grid = self._kernel().build_bigrid(collection, 1.0)
+        result = self._kernel().lower_bounds(grid)
+        assert result.path == "numpy-seq"
+        assert result.values == [0, 0]
+
+    def test_multi_word_grids_always_vectorized(self):
+        # >64 objects need several bitset words; the sequential path only
+        # handles the single-word layout, so dispatch goes vectorized
+        # regardless of row count.
+        collection = random_collection(n=70, mean_points=4, seed=62)
+        grid = self._kernel().build_bigrid(collection, 3.0)
+        assert grid.shared_words.shape[1] > 1
+        result = self._kernel().lower_bounds(grid)
+        assert result.path == "numpy-reduceat"
+
+    def test_crossover_boundary_is_exact(self, monkeypatch):
+        backend = self._backend_module()
+        collection = random_collection(n=30, mean_points=6, seed=63)
+        grid = self._kernel().build_bigrid(collection, 2.5)
+        rows = grid.shared_words.shape[0]
+        assert rows > 0
+
+        # rows < threshold -> sequential; rows >= threshold -> vectorized.
+        monkeypatch.setattr(backend, "LOWER_BOUND_DISPATCH_MIN_ROWS", rows + 1)
+        assert self._kernel().lower_bounds(grid).path == "numpy-seq"
+        monkeypatch.setattr(backend, "LOWER_BOUND_DISPATCH_MIN_ROWS", rows)
+        assert self._kernel().lower_bounds(grid).path == "numpy-reduceat"
+
+    @pytest.mark.parametrize("r", [0.8, 2.0, 5.0])
+    def test_both_paths_bit_identical(self, r, monkeypatch):
+        backend = self._backend_module()
+        collection = random_collection(n=35, mean_points=7, seed=64)
+        grid = self._kernel().build_bigrid(collection, r)
+
+        results = {}
+        for label, threshold in (("seq", 1 << 30), ("vec", 0)):
+            stats = PhaseStats()
+            monkeypatch.setattr(
+                backend, "LOWER_BOUND_DISPATCH_MIN_ROWS", threshold
+            )
+            result = self._kernel().lower_bounds(
+                grid, keep_bitsets=True, stats=stats
+            )
+            results[label] = (result, stats)
+        seq, seq_stats = results["seq"]
+        vec, vec_stats = results["vec"]
+        assert seq.path == "numpy-seq" and vec.path == "numpy-reduceat"
+        assert seq.values == vec.values
+        assert seq.tau_max == vec.tau_max
+        assert seq_stats.counters == vec_stats.counters
+        assert [
+            0 if bits is None else bits.to_int() for bits in seq.bitsets
+        ] == [0 if bits is None else bits.to_int() for bits in vec.bitsets]
+
+        # Both must also match the pure-python reference on its own grid.
+        reference = compute_lower_bounds(
+            BIGrid.build(collection, r=r), keep_bitsets=True
+        )
+        assert reference.path == "reference"
+        assert seq.values == reference.values
+        assert seq.tau_max == reference.tau_max

@@ -248,3 +248,55 @@ class TestBatchTimeoutIsolation:
         assert results[1].exact
         assert session.stats()["anytime_results"] == 1
         assert session.stats()["timeouts"] == 0
+
+
+class TestAnytimeKernelParity:
+    """Mid-verification expiry must degrade identically across kernels.
+
+    The numpy backend's batched verifier polls the deadline at exactly the
+    reference checkpoints (one per dequeued candidate, one per visited
+    point group), so a budget that dies mid-batch must cut verification at
+    the same candidate and surface the *same* ``exact=False`` anytime
+    answer — the verified-prefix/lower-bound fallback — that the pure
+    python path produces.
+    """
+
+    def _degraded_result(self, kernel):
+        from conftest import random_collection
+        from repro.session import QuerySession
+
+        # Verification-heavy workload (large r leaves most objects as
+        # candidates); injected latency at the first verification
+        # checkpoint burns the real budget inside the phase, after the
+        # filtering phases completed well within it.
+        collection = random_collection(n=40, mean_points=8, seed=77)
+        injector = from_env("verification:latency:1:400")
+        faults.install(injector)
+        try:
+            session = QuerySession(collection, kernel=kernel)
+            result = session.query_many([{"r": 8.0, "timeout_ms": 200}])[0]
+        finally:
+            faults.install(None)
+        assert not result.exact
+        assert "anytime" in result.notes
+        assert session.stats()["anytime_results"] == 1
+        return result
+
+    def test_vectorized_verification_degrades_like_reference(self):
+        from repro.kernels import numpy_kernel_available
+
+        if not numpy_kernel_available():
+            pytest.skip("numpy kernel unavailable here")
+        ref = self._degraded_result("python")
+        got = self._degraded_result("numpy")
+        assert (ref.winner, ref.score) == (got.winner, got.score)
+        assert ref.algorithm == got.algorithm
+        assert ref.counters == got.counters
+        # The in-flight candidate died at the first in-phase checkpoint,
+        # so both paths fall back to the same unverified prefix.
+        assert ref.counters["verified_objects"] == 0
+        notes_ref = {k: v for k, v in ref.notes.items()
+                     if k not in ("verification_path", "lower_bound_path")}
+        notes_got = {k: v for k, v in got.notes.items()
+                     if k not in ("verification_path", "lower_bound_path")}
+        assert notes_ref == notes_got
