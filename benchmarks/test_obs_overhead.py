@@ -146,3 +146,91 @@ def test_disabled_tracer_overhead(datasets, report):
         f"pipeline in its best round (bound {RATIO_BOUND:.2f}x): every "
         "round paid for the instrumentation, so the overhead is real"
     )
+
+
+#: Production sampling rate the telemetry guard runs at (the `repro
+#: serve` default): 1-in-100 queries carries a full span tree.
+SAMPLE_RATE = 0.01
+
+
+def test_sampled_telemetry_overhead(datasets, report):
+    """Telemetry *enabled* must fit the same paired-overhead budget.
+
+    The tentpole's acceptance bar: with the hub recording a profile per
+    query, feeding the slow-query log, and head-sampling at the serve
+    default of 1%, the engine stays within RATIO_BOUND of a run with
+    telemetry disabled.  Same paired min-ratio estimator as the
+    disabled-tracer guard; the baseline here is the instrumented engine
+    itself (hub off), so the ratio isolates what telemetry adds.
+    """
+    from repro.obs.telemetry import Telemetry, set_telemetry
+
+    collection = datasets[DATASET]
+    engine = MIOEngine(collection)
+
+    # An isolated hub so the guard neither inherits a sink nor pollutes
+    # the process hub's rings; restored unconditionally on the way out.
+    hub = Telemetry(sample_rate=SAMPLE_RATE, slow_ms=250.0)
+    previous = set_telemetry(hub)
+    try:
+
+        def run_with_telemetry():
+            hub.enabled = True
+            started = time.perf_counter()
+            answers = [
+                (result.winner, result.score)
+                for result in (engine.query(r) for r in WORKLOAD)
+            ]
+            elapsed = time.perf_counter() - started
+            return elapsed, answers
+
+        def run_without_telemetry():
+            hub.enabled = False
+            started = time.perf_counter()
+            answers = [
+                (result.winner, result.score)
+                for result in (engine.query(r) for r in WORKLOAD)
+            ]
+            elapsed = time.perf_counter() - started
+            return elapsed, answers
+
+        run_without_telemetry(), run_with_telemetry()  # warm-up
+
+        rounds = []
+        for index in range(ROUNDS):
+            if index % 2 == 0:
+                off_seconds, off_answers = run_without_telemetry()
+                on_seconds, on_answers = run_with_telemetry()
+            else:
+                on_seconds, on_answers = run_with_telemetry()
+                off_seconds, off_answers = run_without_telemetry()
+            assert on_answers == off_answers  # telemetry changes nothing
+            rounds.append((off_seconds, on_seconds))
+    finally:
+        set_telemetry(previous)
+
+    best_ratio = min(on / off for off, on in rounds)
+    lines = [
+        f"Sampled-telemetry overhead guard (rate={SAMPLE_RATE}, paired rounds)",
+        f"  {'round':>5} {'off s':>8} {'on s':>9} {'ratio':>7}",
+    ]
+    for index, (off_seconds, on_seconds) in enumerate(rounds):
+        lines.append(
+            f"  {index:>5} {off_seconds:>8.3f} {on_seconds:>9.3f}"
+            f" {on_seconds / off_seconds:>7.3f}"
+        )
+    lines.append(f"  best ratio: {best_ratio:.3f} (bound: {RATIO_BOUND:.2f})")
+    lines.append(
+        f"  profiles recorded: {hub.profiles.totals()['recorded']}, "
+        f"sampled: {hub.profiles.totals()['sampled']}"
+    )
+    report("obs_overhead_sampled", "\n".join(lines))
+    assert hub.profiles.totals()["recorded"] > 0, (
+        "the enabled half never recorded a profile -- the guard is not "
+        "measuring telemetry"
+    )
+    assert best_ratio <= RATIO_BOUND, (
+        f"telemetry-enabled engine ran at {best_ratio:.3f}x the "
+        f"telemetry-off engine in its best round (bound {RATIO_BOUND:.2f}x): "
+        "every round paid for the hub, so the overhead is real"
+    )

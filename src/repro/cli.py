@@ -10,13 +10,17 @@ Commands
 ``batch``      run a JSON workload through one QuerySession (label reuse)
 ``explain``    trace one query: span tree plus the pruning funnel
 ``serve``      run the hardened concurrent HTTP query service (docs/service.md)
+``report``     aggregate a telemetry profile log and/or floor-check bench artifacts
 
 Observability flags: ``query --trace`` prints the span tree under the
 answer, ``query``/``batch --metrics-out PATH`` dump the metrics registry
 (Prometheus text format, or JSON when the path ends in ``.json``),
 ``batch --trace-out PATH`` writes the batch's span trees as JSON, and
 ``batch --log-json PATH`` streams one structured log line per request
-with ``batch_id``/``query_id`` correlation ids.
+with ``batch_id``/``query_id`` correlation ids.  Telemetry flags
+(``--telemetry-out``, ``--sample-rate``, ``--slow-ms`` on ``query``,
+``batch``, and ``serve``; ``batch --slowlog-out``) feed the always-on
+telemetry hub -- see ``docs/observability.md``.
 
 Example session::
 
@@ -51,6 +55,14 @@ from repro.obs import logging as obs_logging
 from repro.obs.explain import funnel_stages, render_funnel, render_span_tree
 from repro.obs.export import metrics_json, prometheus_text, trace_json
 from repro.obs.metrics import get_registry
+from repro.obs.telemetry import ProfileSink, get_telemetry
+from repro.obs.telemetry.report import (
+    check_bench_artifacts,
+    compare_to_kernel_artifact,
+    load_profiles,
+    render_summary,
+    summarize,
+)
 from repro.obs.trace import Tracer
 from repro.datasets import (
     DATASET_NAMES,
@@ -106,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the metrics registry after the query "
                             "(Prometheus text, or JSON if PATH ends in .json)")
+    _add_telemetry_flags(query)
 
     compare = commands.add_parser("compare", help="run all algorithms on one query")
     compare.add_argument("path", help=".npz dataset file")
@@ -140,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--log-json", default=None, metavar="PATH",
                        help="stream one structured JSON log line per request "
                             "(batch_id/query_id correlation ids)")
+    _add_telemetry_flags(batch)
+    batch.add_argument("--slowlog-out", default=None, metavar="PATH",
+                       help="write the slow-query log captured during the "
+                            "batch as JSON")
 
     serve = commands.add_parser(
         "serve", help="run the hardened concurrent query service over a dataset"
@@ -168,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base open interval before a half-open probe")
     serve.add_argument("--drain-s", type=float, default=5.0,
                        help="graceful-shutdown drain budget in seconds")
+    serve.add_argument("--sample-rate", type=float, default=0.01,
+                       help="fraction of queries carrying a full span tree "
+                            "into /tracez (0 disables sampling)")
+    serve.add_argument("--slow-ms", type=float, default=250.0,
+                       help="latency threshold for the /slowlogz capture")
+    serve.add_argument("--telemetry-out", default=None, metavar="PATH",
+                       help="append one JSON profile line per query "
+                            "(rotating JSONL; feed it to `repro report`)")
 
     explain = commands.add_parser(
         "explain", help="trace one query: span tree plus the pruning funnel"
@@ -182,7 +207,74 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--cores", type=int, default=1,
                          help="simulated cores; >1 uses the parallel engine")
 
+    report = commands.add_parser(
+        "report",
+        help="aggregate a telemetry profile log into per-phase percentiles "
+             "and/or floor-check recorded BENCH_*.json artifacts",
+    )
+    report.add_argument("profiles", nargs="?", default=None,
+                        help="JSONL profile log written by --telemetry-out")
+    report.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of text")
+    report.add_argument("--check-bench", nargs="+", default=None, metavar="PATH",
+                        help="BENCH_*.json artifacts to hold to their perf "
+                             "floors; any regression exits nonzero")
+    report.add_argument("--margin", type=float, default=0.8,
+                        help="noise margin applied to every floor "
+                             "(default 0.8: a floor F passes at F*0.8)")
+    report.add_argument("--against", default=None, metavar="PATH",
+                        help="BENCH_kernel_speedup.json to compare the "
+                             "profile log's per-phase p50s against")
+    report.add_argument("--max-slowdown", type=float, default=25.0,
+                        help="tolerated live-over-recorded phase ratio for "
+                             "--against (generous: machines differ)")
+
     return parser
+
+
+def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
+    """The telemetry knobs shared by ``query`` and ``batch``."""
+    command.add_argument("--telemetry-out", default=None, metavar="PATH",
+                         help="append one JSON profile line per query "
+                              "(rotating JSONL; feed it to `repro report`)")
+    command.add_argument("--sample-rate", type=float, default=None,
+                         help="fraction of queries traced with full span "
+                              "trees (deterministic systematic sampling)")
+    command.add_argument("--slow-ms", type=float, default=None,
+                         help="latency threshold for slow-query capture")
+
+
+class _CliTelemetry:
+    """Apply a command's telemetry flags to the process hub, then undo.
+
+    The hub is process-global; restoring the previous dials keeps
+    repeated in-process ``main()`` calls (tests, notebooks) independent.
+    """
+
+    def __init__(self) -> None:
+        self._hub = get_telemetry()
+        self._sink: Optional[ProfileSink] = None
+        self._prev_rate = self._hub.sampler.rate
+        self._prev_slow = self._hub.slowlog.threshold_ms
+
+    def __enter__(self) -> "_CliTelemetry":
+        return self
+
+    def apply(self, args: argparse.Namespace) -> None:
+        if getattr(args, "telemetry_out", None):
+            self._sink = ProfileSink(args.telemetry_out)
+            self._hub.reconfigure(sink=self._sink)
+        if getattr(args, "sample_rate", None) is not None:
+            self._hub.reconfigure(sample_rate=args.sample_rate)
+        if getattr(args, "slow_ms", None) is not None:
+            self._hub.reconfigure(slow_ms=args.slow_ms)
+
+    def __exit__(self, *exc_info) -> None:
+        if self._sink is not None:
+            self._hub.reconfigure(sink=None)
+        self._hub.reconfigure(
+            sample_rate=self._prev_rate, slow_ms=self._prev_slow
+        )
 
 
 def _write_metrics(path: str) -> None:
@@ -208,6 +300,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    with _CliTelemetry() as telemetry:
+        telemetry.apply(args)
+        return _run_query(args)
+
+
+def _run_query(args: argparse.Namespace) -> int:
     collection = load_collection(args.path)
     if args.sample < 1.0:
         collection = sample_collection(collection, args.sample)
@@ -349,6 +447,26 @@ def _load_workload(path: str):
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    with _CliTelemetry() as telemetry:
+        telemetry.apply(args)
+        code = _run_batch(args)
+    if args.slowlog_out:
+        slowlog = get_telemetry().slowlog
+        Path(args.slowlog_out).write_text(
+            json.dumps(
+                {
+                    "threshold_ms": slowlog.threshold_ms,
+                    "captured": slowlog.captured,
+                    "entries": slowlog.snapshot(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    return code
+
+
+def _run_batch(args: argparse.Namespace) -> int:
     dataset_path, workload_backend, queries = _load_workload(args.workload)
     backend = args.backend or workload_backend or "ewah"
     collection = load_collection(dataset_path)
@@ -438,16 +556,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_failures=args.breaker_failures,
         breaker_reset_s=args.breaker_reset_s,
         drain_s=args.drain_s,
+        sample_rate=args.sample_rate,
+        slow_query_ms=args.slow_ms,
     )
     app = ServiceApp(
         collection, config,
         backend=args.backend, kernel=args.kernel, cores=args.cores,
     )
+    if args.telemetry_out:
+        get_telemetry().reconfigure(sink=ProfileSink(args.telemetry_out))
     server = MIOServer(app)
     host, port = server.address
     print(f"serving {args.path} ({collection.n} objects) on http://{host}:{port}",
           file=sys.stderr)
-    print(f"endpoints: /query /topk /batch /healthz /readyz /metrics",
+    print(f"endpoints: /query /topk /batch /healthz /readyz /metrics "
+          f"/statusz /tracez /slowlogz",
           file=sys.stderr)
     try:
         server.serve_forever()
@@ -464,6 +587,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate profiles / floor-check artifacts; nonzero on regression."""
+    if not args.profiles and not args.check_bench:
+        raise InvalidQueryError(
+            "repro report needs a profile log and/or --check-bench artifacts"
+        )
+    failures: List[str] = []
+    if args.profiles:
+        profiles, skipped = load_profiles(args.profiles)
+        if not profiles:
+            raise CorruptDataError(
+                f"{args.profiles}: no valid profile lines "
+                f"({skipped} malformed lines skipped)"
+            )
+        summary = summarize(profiles)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_summary(summary, skipped))
+        if args.against:
+            failures.extend(
+                compare_to_kernel_artifact(
+                    summary, args.against, max_slowdown=args.max_slowdown
+                )
+            )
+    if args.check_bench:
+        failures.extend(check_bench_artifacts(args.check_bench, margin=args.margin))
+    if failures:
+        print(f"\nREGRESSION: {len(failures)} floor(s) violated", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if args.check_bench:
+        print(
+            f"checked {len(args.check_bench)} bench artifact(s): "
+            f"all floors hold (margin {args.margin})"
+        )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -472,6 +635,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "explain": _cmd_explain,
     "serve": _cmd_serve,
+    "report": _cmd_report,
 }
 
 

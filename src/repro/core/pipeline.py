@@ -54,7 +54,8 @@ from repro.grid.bigrid import BIGrid
 from repro.kernels import resolve_kernel
 from repro.obs import metrics as obs_metrics
 from repro.obs.recorders import observe_query
-from repro.obs.trace import NULL_TRACER, phase_durations
+from repro.obs.telemetry import get_telemetry
+from repro.obs.trace import NULL_TRACER, Tracer, phase_durations
 from repro.resilience import checkpoint
 
 
@@ -619,8 +620,25 @@ class PhasePipeline:
             stage.run(ctx, span)
 
     def run(self, ctx: QueryContext) -> MIOResult:
-        """One full query: root span, stages, finalization, recording."""
+        """One full query: root span, stages, finalization, recording.
+
+        This is also the telemetry hub's single choke point: when the
+        caller did not bring its own tracer, the hub's head sampler may
+        attach one here (always-on sampled tracing), and every observed
+        result is folded into the hub -- profile ring, JSONL sink, and
+        slow-query log -- alongside the metrics recorder.
+        """
         tracer = ctx.tracer
+        telemetry = get_telemetry() if self.observe else None
+        if (
+            telemetry is not None
+            and not tracer.enabled
+            and telemetry.should_sample()
+        ):
+            # Sampled-in: this query carries a full span tree that lands
+            # in the hub's trace ring (the caller's NULL tracer is only
+            # replaced for this one context, never shared back).
+            ctx.tracer = tracer = Tracer()
         attributes = self.root_attributes(ctx) if self.root_attributes else {}
         fell_back = False
         with tracer.span("query", engine=self.engine, **attributes) as root:
@@ -644,6 +662,16 @@ class PhasePipeline:
                 result.phases = phase_durations(root)
             if self.observe:
                 observe_query(result, engine=self.engine)
+                telemetry.observe_result(
+                    result,
+                    engine=self.engine,
+                    r=ctx.r,
+                    k=ctx.k,
+                    ceil_r=ctx.ceil_r,
+                    n=getattr(ctx.collection, "n", 0),
+                    sampled=tracer.enabled,
+                    span_root=root if tracer.enabled else None,
+                )
         return result
 
 

@@ -31,7 +31,20 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_histogram_snapshots,
     set_registry,
+)
+from repro.obs.telemetry import (
+    ProfileSink,
+    RateSampler,
+    SlowQueryLog,
+    Telemetry,
+    bind_trace_id,
+    configure_telemetry,
+    current_trace_id,
+    get_telemetry,
+    new_trace_id,
+    set_telemetry,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -51,20 +64,31 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ProfileSink",
+    "RateSampler",
+    "SlowQueryLog",
     "Span",
+    "Telemetry",
     "Tracer",
+    "bind_trace_id",
     "configure",
+    "configure_telemetry",
+    "current_trace_id",
     "ensure_tracer",
     "funnel_stages",
     "get_logger",
     "get_registry",
+    "get_telemetry",
+    "merge_histogram_snapshots",
     "metrics_json",
     "new_id",
+    "new_trace_id",
     "phase_durations",
     "prometheus_text",
     "render_funnel",
     "render_span_tree",
     "set_registry",
+    "set_telemetry",
     "trace_json",
     "validate_prometheus_text",
 ]

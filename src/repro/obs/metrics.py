@@ -274,3 +274,41 @@ def histogram(
 ) -> Histogram:
     """Get-or-create a histogram on the process registry."""
     return _REGISTRY.histogram(name, help_text, buckets=buckets)
+
+
+def merge_histogram_snapshots(
+    snapshots: Sequence[Dict[str, object]]
+) -> Dict[str, object]:
+    """Merge :meth:`Histogram.snapshot` dicts from separate runs.
+
+    This is the payoff of the fixed log-scale buckets: snapshots taken by
+    different processes (or CI runs) share bucket bounds by construction,
+    so merging is element-wise addition of the cumulative counts plus the
+    sums and counts.  Snapshots with *different* bucket bounds are
+    rejected -- adaptive per-run bucketing would make distributions
+    incomparable, which is exactly what the fixed-bucket invariant
+    forbids.  Empty snapshots (``count == 0`` with no buckets, as
+    ``snapshot()`` returns for a never-observed label set) merge as
+    identity.
+    """
+    merged_buckets: Optional[Dict[str, int]] = None
+    total = 0.0
+    count = 0
+    for snap in snapshots:
+        buckets = dict(snap.get("buckets") or {})
+        if not buckets and not snap.get("count"):
+            continue
+        if merged_buckets is None:
+            merged_buckets = {bound: 0 for bound in buckets}
+        elif list(buckets) != list(merged_buckets):
+            raise ValueError(
+                "cannot merge histogram snapshots with different bucket "
+                f"bounds: {list(merged_buckets)} vs {list(buckets)}"
+            )
+        for bound, cumulative in buckets.items():
+            merged_buckets[bound] += cumulative
+        total += float(snap.get("sum", 0.0))
+        count += int(snap.get("count", 0))
+    if merged_buckets is None:
+        return {"buckets": {}, "sum": 0.0, "count": 0}
+    return {"buckets": merged_buckets, "sum": total, "count": count}

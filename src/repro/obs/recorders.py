@@ -48,6 +48,20 @@ def observe_query(result, engine: str) -> None:
             "repro_candidates_total",
             "Verification candidates by outcome (generated vs settled)",
         ).inc(settled, outcome="settled")
+    notes = getattr(result, "notes", None) or {}
+    for op, note in (
+        ("verification", "verification_path"),
+        ("lower_bounding", "lower_bound_path"),
+    ):
+        path = notes.get(note)
+        if path:
+            # Kernel path dispatch (batched vs per-candidate verification,
+            # dense vs sparse lower bounding, ...) observable without
+            # tracing: which implementation served the traffic.
+            metrics.counter(
+                "repro_kernel_path_total",
+                "Kernel implementation paths taken, by phase op",
+            ).inc(op=op, path=path)
     if not result.exact:
         metrics.counter(
             "repro_anytime_results_total",

@@ -1,0 +1,65 @@
+"""Always-on query telemetry: sampled tracing, profiles, slow-query log.
+
+The subpackage layers four pieces on the PR-3 tracer and metrics
+registry, wired together by the :class:`~repro.obs.telemetry.hub.Telemetry`
+hub that the pipeline, session, CLI, and query service all report to:
+
+* :mod:`.sampler` -- deterministic rate-based head sampling so full span
+  tracing stays enabled in production within the overhead budget;
+* :mod:`.profile` -- the per-query profile schema, the bounded
+  in-process ring, and the rotating JSONL sink;
+* :mod:`.slowlog` -- tail capture of slow and degraded queries with real
+  or synthesized span trees;
+* :mod:`.report` -- offline aggregation (``repro report``) and
+  bench-artifact regression floors.
+
+Like the rest of :mod:`repro.obs`, telemetry is freestanding: it never
+imports the query machinery it observes (results are duck-typed), so
+the layering lint holds and the observer can never recurse into the
+observed.
+"""
+
+from repro.obs.telemetry.hub import (
+    Telemetry,
+    bind_trace_id,
+    configure_telemetry,
+    current_trace_id,
+    get_telemetry,
+    new_trace_id,
+    set_telemetry,
+)
+from repro.obs.telemetry.profile import ProfileSink, ProfileStore, build_profile
+from repro.obs.telemetry.sampler import RateSampler
+from repro.obs.telemetry.slowlog import SlowQueryLog, synthesize_span_tree
+from repro.obs.telemetry.report import (
+    check_bench_artifact,
+    check_bench_artifacts,
+    compare_to_kernel_artifact,
+    load_profiles,
+    percentile,
+    render_summary,
+    summarize,
+)
+
+__all__ = [
+    "Telemetry",
+    "bind_trace_id",
+    "configure_telemetry",
+    "current_trace_id",
+    "get_telemetry",
+    "new_trace_id",
+    "set_telemetry",
+    "ProfileSink",
+    "ProfileStore",
+    "build_profile",
+    "RateSampler",
+    "SlowQueryLog",
+    "synthesize_span_tree",
+    "check_bench_artifact",
+    "check_bench_artifacts",
+    "compare_to_kernel_artifact",
+    "load_profiles",
+    "percentile",
+    "render_summary",
+    "summarize",
+]

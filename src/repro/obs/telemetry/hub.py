@@ -1,0 +1,240 @@
+"""The telemetry hub: one always-on pipeline from span to sink.
+
+:class:`Telemetry` composes the sampler, the profile ring, the
+slow-query log, the sampled-trace ring, and an optional JSONL sink into
+the single object the orchestration layer talks to.  The process-wide
+instance (:func:`get_telemetry`) is always on at a conservative default
+-- profiles ring in memory, sampling off, no sink -- so library users
+pay one profile-dict build per query and nothing else; the CLI and the
+query service turn the dials (`--sample-rate`, ``--telemetry-out``,
+``--slow-ms``) via :func:`configure_telemetry`.
+
+Trace-id propagation uses a :mod:`contextvars` context variable: the
+service binds the request's id (its own, or the caller's ``X-Trace-Id``)
+around query execution, the session binds each request's ``query_id``,
+and :meth:`Telemetry.observe_result` picks the bound id up at the
+orchestration choke point -- so one id links the HTTP response
+envelope, the structured log line, the profile, the slow-log entry, and
+the sampled span tree without any layer passing ids to the next.
+
+Like the tracer and the metrics registry, the hub must never fail a
+query: capture paths only append to bounded rings, and the sink
+disables itself on I/O errors.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import new_id
+from repro.obs.telemetry.profile import ProfileSink, ProfileStore, build_profile
+from repro.obs.telemetry.sampler import RateSampler
+from repro.obs.telemetry.slowlog import SlowQueryLog
+
+_TRACE_ID: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh process-unique trace id (``trace-00000042``)."""
+    return new_id("trace")
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound to the current context, if any."""
+    return _TRACE_ID.get()
+
+
+@contextmanager
+def bind_trace_id(trace_id: str) -> Iterator[str]:
+    """Bind ``trace_id`` to the current context for the ``with`` body."""
+    token = _TRACE_ID.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)
+
+
+class Telemetry:
+    """Sampler + profile ring + slow-query log + trace ring + sink."""
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        sample_rate: float = 0.0,
+        slow_ms: float = 250.0,
+        profile_capacity: int = 256,
+        slowlog_capacity: int = 64,
+        trace_capacity: int = 32,
+        sink: Optional[ProfileSink] = None,
+        clock=time.time,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.sampler = RateSampler(sample_rate)
+        self.profiles = ProfileStore(profile_capacity)
+        self.slowlog = SlowQueryLog(slowlog_capacity, slow_ms)
+        self.sink = sink
+        self._traces: "deque[Dict[str, object]]" = deque(maxlen=trace_capacity)
+        self._traces_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def reconfigure(
+        self,
+        *,
+        enabled: Optional[bool] = None,
+        sample_rate: Optional[float] = None,
+        slow_ms: Optional[float] = None,
+        sink: Optional[ProfileSink] = ...,  # type: ignore[assignment]
+    ) -> None:
+        """Adjust knobs in place (rings and tallies persist).
+
+        ``sink`` uses the ellipsis sentinel so ``sink=None`` explicitly
+        detaches the current sink (closing it) while omitting the
+        argument leaves it untouched.
+        """
+        if enabled is not None:
+            self.enabled = enabled
+        if sample_rate is not None:
+            self.sampler.set_rate(sample_rate)
+        if slow_ms is not None:
+            if slow_ms < 0:
+                raise ValueError("slow_ms must be >= 0")
+            self.slowlog.threshold_ms = float(slow_ms)
+        if sink is not ...:
+            if self.sink is not None and self.sink is not sink:
+                self.sink.close()
+            self.sink = sink
+
+    def should_sample(self) -> bool:
+        """One head-sampling decision for an about-to-run query."""
+        return self.enabled and self.sampler.should_sample()
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+
+    def observe_result(
+        self,
+        result,
+        *,
+        engine: str,
+        r: float,
+        k: int = 1,
+        ceil_r: int = 0,
+        n: int = 0,
+        sampled: bool = False,
+        span_root=None,
+        trace_id: Optional[str] = None,
+    ) -> Optional[Dict[str, object]]:
+        """Fold one finished query into the telemetry pipeline.
+
+        ``result`` is duck-typed (``algorithm``/``phases``/``counters``/
+        ``notes``/``exact``/``total_time``/``memory_bytes``);
+        ``span_root`` is the query's root span when it was traced.
+        Returns the recorded profile (None when telemetry is disabled).
+        """
+        if not self.enabled:
+            return None
+        if trace_id is None:
+            trace_id = current_trace_id() or new_trace_id()
+        profile = build_profile(
+            result,
+            engine=engine,
+            trace_id=trace_id,
+            ts=self.clock(),
+            r=r,
+            k=k,
+            ceil_r=ceil_r,
+            n=n,
+            sampled=sampled,
+        )
+        self.profiles.record(profile)
+        obs_metrics.counter(
+            "repro_query_profiles_total", "Query profiles captured by the telemetry hub"
+        ).inc(engine=engine, sampled=str(sampled).lower())
+        if self.sink is not None:
+            self.sink.write(profile)
+        span_tree = None
+        if span_root is not None:
+            span_root.set_attribute("trace_id", trace_id)
+            span_tree = span_root.to_dict()
+            with self._traces_lock:
+                self._traces.append(
+                    {"trace_id": trace_id, "ts": profile["ts"], "root": span_tree}
+                )
+        if self.slowlog.consider(profile, span_tree):
+            obs_metrics.counter(
+                "repro_slow_queries_total",
+                "Queries captured by the slow-query log, by cause",
+            ).inc(cause=self.slowlog.classify(profile) or "slow")
+        return profile
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def traces_snapshot(self) -> List[Dict[str, object]]:
+        """Recent sampled span trees, oldest first (``/tracez``)."""
+        with self._traces_lock:
+            return list(self._traces)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Hub state for ``/statusz`` and ``repro batch --stats``."""
+        sink_state: Dict[str, object] = {"attached": self.sink is not None}
+        if self.sink is not None:
+            sink_state.update(
+                path=self.sink.path,
+                written=self.sink.written,
+                rotations=self.sink.rotations,
+                errors=self.sink.errors,
+            )
+        return {
+            "enabled": self.enabled,
+            "sampler": self.sampler.snapshot(),
+            "profiles": self.profiles.totals(),
+            "slowlog": {
+                "threshold_ms": self.slowlog.threshold_ms,
+                "captured": self.slowlog.captured,
+                "retained": len(self.slowlog),
+            },
+            "traces_retained": len(self._traces),
+            "sink": sink_state,
+        }
+
+
+# ----------------------------------------------------------------------
+# The process-wide hub
+# ----------------------------------------------------------------------
+
+_TELEMETRY = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The hub every built-in orchestration point reports to."""
+    return _TELEMETRY
+
+
+def set_telemetry(hub: Telemetry) -> Telemetry:
+    """Swap the process hub (tests); returns the previous one."""
+    global _TELEMETRY
+    previous = _TELEMETRY
+    _TELEMETRY = hub
+    return previous
+
+
+def configure_telemetry(**kwargs) -> Telemetry:
+    """Reconfigure the live process hub in place (see ``reconfigure``)."""
+    _TELEMETRY.reconfigure(**kwargs)
+    return _TELEMETRY

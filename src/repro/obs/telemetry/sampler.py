@@ -1,0 +1,77 @@
+"""Probabilistic span sampling for always-on tracing.
+
+Full span tracing is cheap but not free: opening a real
+:class:`~repro.obs.trace.Span` per phase costs a handful of attribute
+writes and two clock reads, which the disabled-tracer overhead guard
+deliberately excludes.  To keep tracing *enabled in production* inside
+the same <=5% budget, the telemetry hub traces only a sampled fraction
+of queries -- every query still produces a profile (phase timings come
+from the ``PhaseStats`` timers that always run), but only sampled
+queries carry a full span tree.
+
+:class:`RateSampler` implements *systematic* sampling: an error
+accumulator adds ``rate`` per decision and fires whenever it crosses 1,
+so a rate of ``0.01`` samples exactly every 100th query -- no RNG, no
+burst variance, deterministic under test, and the long-run sampled
+fraction is exactly the configured rate.  Head-based sampling cannot
+know a query will be slow; the *always-sample-slow* side of the
+contract therefore lives in the capture path
+(:meth:`~repro.obs.telemetry.hub.Telemetry.observe_result` routes every
+slow or degraded query into the slow-query log, synthesizing a span
+tree from the phase breakdown when the query ran unsampled).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class RateSampler:
+    """Deterministic systematic sampler: fire every ``1/rate`` decisions.
+
+    ``rate`` is clamped to ``[0, 1]`` at the type level: 0 never samples
+    (one attribute read per decision, no lock), 1 always samples.  The
+    accumulator starts full so the *first* query at a nonzero rate is
+    sampled -- a service that just turned sampling on sees a trace
+    immediately instead of after the first ``1/rate`` queries.
+    """
+
+    def __init__(self, rate: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self.decisions = 0
+        self.sampled = 0
+        self.set_rate(rate)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must lie in [0, 1], got {rate!r}")
+        with self._lock:
+            self._rate = rate
+            # Start primed: the first decision after (re)configuration fires.
+            self._accumulator = 1.0 if rate > 0.0 else 0.0
+
+    def should_sample(self) -> bool:
+        """One sampling decision (thread-safe, deterministic)."""
+        if self._rate <= 0.0:
+            self.decisions += 1  # benign race: the tally is advisory
+            return False
+        with self._lock:
+            self.decisions += 1
+            self._accumulator += self._rate
+            if self._accumulator >= 1.0:
+                self._accumulator -= 1.0
+                self.sampled += 1
+                return True
+            return False
+
+    def snapshot(self) -> dict:
+        return {
+            "rate": self._rate,
+            "decisions": self.decisions,
+            "sampled": self.sampled,
+        }

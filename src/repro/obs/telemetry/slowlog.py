@@ -1,0 +1,106 @@
+"""The slow-query log: full context for the queries that hurt.
+
+Aggregates (histograms, percentile summaries) say *that* a tail exists;
+the slow-query log says *which queries* are in it and where their time
+went.  Every query whose end-to-end time crosses the latency threshold,
+and every query that degraded (an anytime answer, a backend downgrade,
+a fallback-path response -- anything carrying a ``degraded_*`` note or
+``exact=False``), is captured with its complete profile plus a span
+tree:
+
+* a **sampled** query contributes its real span tree (the telemetry
+  sampler's head-based decision happened to cover it);
+* an **unsampled** slow query cannot be traced retroactively, so the
+  log synthesizes a one-level span tree from the phase breakdown the
+  ``PhaseStats`` timers always record -- marked
+  ``"synthesized": true`` so dashboards can tell measured nesting from
+  reconstruction.
+
+This is the "always-sample-slow" half of the sampling contract: the
+head sampler keeps steady-state overhead inside the budget, while the
+tail capture here guarantees no slow or degraded query ever vanishes
+unexplained.  The log is a bounded ring (newest ``capacity`` entries)
+served by ``/slowlogz`` on the query service.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+
+def synthesize_span_tree(profile: Dict[str, object]) -> Dict[str, object]:
+    """A phase-level span tree reconstructed from a profile's timings."""
+    phases = profile.get("phases") or {}
+    return {
+        "name": "query",
+        "duration_seconds": profile.get("seconds", 0.0),
+        "attributes": {
+            "synthesized": True,
+            "engine": profile.get("engine", ""),
+            "trace_id": profile.get("trace_id", ""),
+        },
+        "children": [
+            {"name": phase, "duration_seconds": seconds}
+            for phase, seconds in phases.items()
+        ],
+    }
+
+
+class SlowQueryLog:
+    """Bounded ring of slow/degraded query captures (thread-safe)."""
+
+    def __init__(self, capacity: int = 64, threshold_ms: float = 250.0) -> None:
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be at least 1")
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        self.capacity = capacity
+        self.threshold_ms = float(threshold_ms)
+        self._entries: "deque[Dict[str, object]]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.captured = 0
+
+    def classify(self, profile: Dict[str, object]) -> Optional[str]:
+        """The capture cause, or None when the query is unremarkable."""
+        causes = []
+        if float(profile.get("seconds", 0.0)) * 1000.0 >= self.threshold_ms:
+            causes.append("slow")
+        notes = profile.get("notes") or {}
+        if not profile.get("exact", True) or any(
+            key.startswith("degraded_") for key in notes
+        ):
+            causes.append("degraded")
+        return "+".join(causes) if causes else None
+
+    def consider(
+        self,
+        profile: Dict[str, object],
+        span_tree: Optional[Dict[str, object]] = None,
+    ) -> bool:
+        """Capture the query if it is slow or degraded; True if captured."""
+        cause = self.classify(profile)
+        if cause is None:
+            return False
+        entry = dict(profile)
+        entry["cause"] = cause
+        entry["span_tree"] = (
+            span_tree if span_tree is not None else synthesize_span_tree(profile)
+        )
+        with self._lock:
+            self._entries.append(entry)
+            self.captured += 1
+        return True
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Retained captures, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

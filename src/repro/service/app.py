@@ -48,6 +48,7 @@ LBS-style traffic.  Only invalid input (400) and admission refusals
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -67,6 +68,7 @@ from repro.errors import (
 )
 from repro.obs import metrics as obs_metrics
 from repro.obs.export import prometheus_text
+from repro.obs.telemetry import bind_trace_id, get_telemetry, new_trace_id
 from repro.resilience import Deadline
 from repro.service.admission import (
     ADMITTED,
@@ -91,6 +93,18 @@ BACKEND_FAILURES = (
 
 JSON_TYPE = "application/json"
 PROM_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Characters allowed in a caller-supplied ``X-Trace-Id`` (anything else
+#: is stripped -- the id lands in headers, logs, and JSON verbatim).
+_TRACE_ID_SAFE = re.compile(r"[^A-Za-z0-9._\-]")
+
+
+def sanitize_trace_id(raw: Optional[str]) -> Optional[str]:
+    """A header-safe trace id from caller input, or None if nothing survives."""
+    if not raw:
+        return None
+    cleaned = _TRACE_ID_SAFE.sub("", raw)[:64]
+    return cleaned or None
 
 
 @dataclass
@@ -186,6 +200,20 @@ class ServiceApp:
         }
         #: EWMA of end-to-end request seconds, seeding the Retry-After hint.
         self._ewma_seconds = 0.05
+        self._ewma_gauge = obs_metrics.gauge(
+            "repro_service_latency_ewma_seconds",
+            "EWMA of per-request service time (the Retry-After basis)",
+        )
+        self._ewma_gauge.set(self._ewma_seconds)
+        #: Always-on telemetry: the service turns the process hub's dials
+        #: to its configured sampling rate and slow-query threshold, so
+        #: /statusz, /tracez, and /slowlogz have data from request one.
+        self.telemetry = get_telemetry()
+        self.telemetry.reconfigure(
+            enabled=True,
+            sample_rate=self.config.sample_rate,
+            slow_ms=self.config.slow_query_ms,
+        )
         self._responses = obs_metrics.counter(
             "repro_service_responses_total", "Service responses by endpoint and status"
         )
@@ -208,25 +236,39 @@ class ServiceApp:
         path: str,
         params: Optional[Dict[str, str]] = None,
         body: Optional[bytes] = None,
+        trace_id: Optional[str] = None,
     ) -> Response:
-        """Route one request; never raises, never leaks a traceback."""
+        """Route one request; never raises, never leaks a traceback.
+
+        Every response -- success, error envelope, or shed -- carries a
+        trace id, in both the JSON body and the ``X-Trace-Id`` header:
+        the caller's (sanitized) ``X-Trace-Id`` when one was sent, a
+        fresh id otherwise.  The id is bound to the request's context so
+        the telemetry profile, the slow-query log entry, and any sampled
+        span tree correlate with the response the caller saw.
+        """
         started = self._clock()
         endpoint = path.rstrip("/") or "/"
-        try:
-            response = self._route(method, endpoint, params or {}, body)
-        except ReproError as exc:
-            response = error_response(exc)
-        except Exception as exc:  # noqa: BLE001 -- the no-traceback boundary
-            with self._stats_lock:
-                self.stats["errors"] += 1
-            response = Response(
-                status=500,
-                payload={
-                    "error": "InternalError",
-                    "message": f"{type(exc).__name__}: {exc}",
-                    "status": 500,
-                },
-            )
+        trace_id = sanitize_trace_id(trace_id) or new_trace_id()
+        with bind_trace_id(trace_id):
+            try:
+                response = self._route(method, endpoint, params or {}, body)
+            except ReproError as exc:
+                response = error_response(exc)
+            except Exception as exc:  # noqa: BLE001 -- the no-traceback boundary
+                with self._stats_lock:
+                    self.stats["errors"] += 1
+                response = Response(
+                    status=500,
+                    payload={
+                        "error": "InternalError",
+                        "message": f"{type(exc).__name__}: {exc}",
+                        "status": 500,
+                    },
+                )
+        if isinstance(response.payload, dict):
+            response.payload.setdefault("trace_id", trace_id)
+        response.headers.setdefault("X-Trace-Id", trace_id)
         self._responses.inc(endpoint=endpoint, status=response.status)
         self._latency.observe(self._clock() - started)
         return response
@@ -240,6 +282,12 @@ class ServiceApp:
             return self.handle_readyz()
         if path == "/metrics":
             return self.handle_metrics()
+        if path == "/statusz":
+            return self.handle_statusz()
+        if path == "/tracez":
+            return self.handle_tracez()
+        if path == "/slowlogz":
+            return self.handle_slowlogz()
         if path == "/query":
             return self.handle_query(self._parse_body(params, body))
         if path == "/topk":
@@ -296,6 +344,48 @@ class ServiceApp:
 
     def handle_metrics(self) -> Response:
         return Response(status=200, payload=prometheus_text(), content_type=PROM_TYPE)
+
+    # ------------------------------------------------------------------
+    # Introspection (telemetry)
+    # ------------------------------------------------------------------
+
+    def handle_statusz(self) -> Response:
+        """One page of service + telemetry state for a human operator."""
+        return Response(
+            status=200,
+            payload={
+                "uptime_s": round(self._clock() - self._started, 3),
+                "ready": self._ready,
+                "service": self.snapshot(),
+                "telemetry": self.telemetry.snapshot(),
+                "retry_after_hint_s": self.retry_after_hint(),
+            },
+        )
+
+    def handle_tracez(self) -> Response:
+        """The hub's recent sampled span trees, oldest first."""
+        traces = self.telemetry.traces_snapshot()
+        return Response(
+            status=200,
+            payload={
+                "sampler": self.telemetry.sampler.snapshot(),
+                "count": len(traces),
+                "traces": traces,
+            },
+        )
+
+    def handle_slowlogz(self) -> Response:
+        """Captured slow/degraded queries with their span trees."""
+        entries = self.telemetry.slowlog.snapshot()
+        return Response(
+            status=200,
+            payload={
+                "threshold_ms": self.telemetry.slowlog.threshold_ms,
+                "captured": self.telemetry.slowlog.captured,
+                "count": len(entries),
+                "entries": entries,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Query endpoints
@@ -458,7 +548,7 @@ class ServiceApp:
     def _vacuous_result(self, request: QueryRequest, cause: str, note: str) -> MIOResult:
         """The chain's last resort: a valid (if vacuous) lower-bound answer."""
         self._degraded.inc(cause=cause)
-        return MIOResult(
+        result = MIOResult(
             algorithm="bigrid",
             r=request.r,
             winner=-1,
@@ -466,6 +556,17 @@ class ServiceApp:
             exact=False,
             notes={"anytime": note, f"degraded_{cause}": note},
         )
+        # No pipeline ran, so no choke point saw this query; record the
+        # degraded outcome here so the slow-query log never misses one.
+        collection = self.primary.collection
+        self.telemetry.observe_result(
+            result,
+            engine="service",
+            r=request.r,
+            k=request.k,
+            n=collection.n if collection is not None else 0,
+        )
+        return result
 
     # ------------------------------------------------------------------
     # Responses
@@ -514,6 +615,7 @@ class ServiceApp:
     def _note_latency(self, seconds: float) -> None:
         # EWMA with alpha=0.2: recent service time dominates Retry-After.
         self._ewma_seconds += 0.2 * (seconds - self._ewma_seconds)
+        self._ewma_gauge.set(self._ewma_seconds)
 
     def _shed_response(self, outcome: str) -> Response:
         with self._stats_lock:

@@ -30,6 +30,7 @@ from repro.errors import (
     ReproError,
     ServiceOverloadedError,
 )
+from repro.obs.telemetry import new_trace_id
 
 #: Wire name -> exception class, the inverse of the service's error
 #: envelope (``{"error": ClassName, ...}``).
@@ -101,6 +102,9 @@ class ServiceClient:
         #: Retry telemetry: attempts beyond the first, and total slept.
         self.retries = 0
         self.slept_s = 0.0
+        #: The trace id of the most recent response (from ``X-Trace-Id``
+        #: or the body) -- quote it when reporting a service problem.
+        self.last_trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -141,15 +145,35 @@ class ServiceClient:
             raise ServiceError(f"/metrics returned HTTP {status}", status)
         return payload if isinstance(payload, str) else json.dumps(payload)
 
+    def statusz(self) -> dict:
+        """Service + telemetry state (the ``/statusz`` page)."""
+        return self.request("GET", "/statusz")
+
+    def tracez(self) -> dict:
+        """Recent sampled span trees."""
+        return self.request("GET", "/tracez")
+
+    def slowlogz(self) -> dict:
+        """Captured slow/degraded queries."""
+        return self.request("GET", "/slowlogz")
+
     # ------------------------------------------------------------------
     # Transport with retries
     # ------------------------------------------------------------------
 
     def request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
-        """One logical request; retries shed/unavailable responses."""
+        """One logical request; retries shed/unavailable responses.
+
+        Every attempt of one logical request carries the same outbound
+        ``X-Trace-Id``, so server-side telemetry correlates retries of
+        the same call; errors carry the id as ``exc.trace_id``.
+        """
         attempt = 0
+        trace_id = new_trace_id()
         while True:
-            status, headers, payload = self._round_trip(method, path, body)
+            status, headers, payload = self._round_trip(
+                method, path, body, trace_id=trace_id
+            )
             if status == 200:
                 return payload if isinstance(payload, dict) else {"raw": payload}
             error = (
@@ -157,22 +181,33 @@ class ServiceClient:
                 if isinstance(payload, dict)
                 else ServiceError(str(payload), status)
             )
+            error.trace_id = self.last_trace_id or trace_id
             if status not in RETRYABLE_STATUSES or attempt >= self.max_retries:
                 raise error
             self._back_off(attempt, headers.get("Retry-After"))
             attempt += 1
 
-    def _round_trip(self, method: str, path: str, body: Optional[dict]):
+    def _round_trip(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict],
+        trace_id: Optional[str] = None,
+    ):
         payload = json.dumps(body).encode("utf-8") if body is not None else None
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
         try:
             headers = {"Content-Type": "application/json"} if payload else {}
+            if trace_id:
+                headers["X-Trace-Id"] = trace_id
             connection.request(method, path, body=payload, headers=headers)
             response = connection.getresponse()
             raw = response.read()
             header_map = {k: v for k, v in response.getheaders()}
+            if header_map.get("X-Trace-Id"):
+                self.last_trace_id = header_map["X-Trace-Id"]
             content_type = header_map.get("Content-Type", "")
             if content_type.startswith("application/json"):
                 try:

@@ -57,6 +57,11 @@ class ServiceConfig:
     retry_after_floor_s: float = 0.05
     #: Cap for the ``Retry-After`` hint (seconds).
     retry_after_cap_s: float = 5.0
+    #: Head-sampling rate for always-on span telemetry (queries carrying
+    #: a full span tree into ``/tracez``); 0 disables sampling.
+    sample_rate: float = 0.01
+    #: Latency threshold for the slow-query log (``/slowlogz``).
+    slow_query_ms: float = 250.0
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -83,6 +88,10 @@ class ServiceConfig:
             raise InvalidQueryError(
                 "retry_after floor must be positive and <= its cap"
             )
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise InvalidQueryError("sample_rate must lie in [0, 1]")
+        if self.slow_query_ms < 0:
+            raise InvalidQueryError("slow_query_ms must be >= 0")
 
     def clamp_timeout_ms(self, timeout_ms) -> float:
         """The effective budget for one request (default + cap applied)."""

@@ -65,7 +65,10 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
             body = self.rfile.read(length) if length else b""
-        response = self.app.handle(method, split.path, params, body)
+        response = self.app.handle(
+            method, split.path, params, body,
+            trace_id=self.headers.get("X-Trace-Id"),
+        )
         self._send(response)
 
     def _send(self, response: Response) -> None:

@@ -57,6 +57,7 @@ from repro.kernels import resolve_kernel
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger, new_id
 from repro.obs.recorders import register_cache_metrics
+from repro.obs.telemetry import bind_trace_id, get_telemetry
 from repro.obs.trace import ensure_tracer
 from repro.parallel.engine import ParallelMIOEngine
 from repro.resilience import Deadline
@@ -376,7 +377,10 @@ class QuerySession:
                 request_index=index,
                 r=request.r,
                 k=request.k,
-            ):
+            ), bind_trace_id(query_id):
+                # The query id doubles as the request's trace id: the
+                # pipeline's telemetry profile, the structured log line,
+                # and the span all correlate on it.
                 result = self._execute(request, catch_timeout=True)
             if logger.enabled:
                 logger.log(
@@ -458,7 +462,7 @@ class QuerySession:
         with self._stats_lock:
             self.counters["timeouts"] += 1
         phase = exc.phase or "filtering"
-        return MIOResult(
+        result = MIOResult(
             algorithm="bigrid",
             r=request.r,
             winner=-1,
@@ -469,6 +473,18 @@ class QuerySession:
                 "degraded_deadline": phase,
             },
         )
+        # The pipeline never completed, so its choke point never saw this
+        # query; emit the degraded profile here so the slow-query log
+        # captures every pre-verification expiry too.
+        get_telemetry().observe_result(
+            result,
+            engine="session",
+            r=request.r,
+            k=request.k,
+            ceil_r=request.ceiling(),
+            n=self.collection.n if self.collection is not None else 0,
+        )
+        return result
 
     def _account(self, result: MIOResult, parallel: bool) -> None:
         """Fold one result into the session counters (and annotate it)."""

@@ -107,6 +107,17 @@ def fresh_registry():
 
 
 @pytest.fixture
+def fresh_telemetry():
+    """An isolated telemetry hub installed for one test (default dials)."""
+    from repro.obs import telemetry as obs_telemetry
+
+    hub = obs_telemetry.Telemetry()
+    previous = obs_telemetry.set_telemetry(hub)
+    yield hub
+    obs_telemetry.set_telemetry(previous)
+
+
+@pytest.fixture
 def small_collection() -> ObjectCollection:
     """Four hand-built 2-D objects with known interactions at r = 1.5.
 

@@ -66,6 +66,55 @@ class TestPrometheusText:
         validate_prometheus_text("")
 
 
+class TestLabelValueEscaping:
+    """Text format 0.0.4: label values escape ``\\``, ``\"``, and newline.
+
+    Each escape is exercised in isolation (a combined test can pass with
+    one substitution masking another) and the escaped output must still
+    satisfy the exposition-format validator.
+    """
+
+    @staticmethod
+    def _render(value: str) -> str:
+        registry = MetricsRegistry()
+        registry.counter("esc_total", "test").inc(name=value)
+        text = prometheus_text(registry)
+        validate_prometheus_text(text)
+        return text
+
+    def test_backslash_escapes_to_double_backslash(self):
+        text = self._render("a\\b")
+        assert 'name="a\\\\b"' in text
+        assert 'name="a\\b"' not in text.replace('name="a\\\\b"', "")
+
+    def test_double_quote_escapes_to_backslash_quote(self):
+        text = self._render('say "hi"')
+        assert 'name="say \\"hi\\""' in text
+
+    def test_newline_escapes_to_backslash_n(self):
+        text = self._render("line1\nline2")
+        assert 'name="line1\\nline2"' in text
+        # The rendered sample must stay on one physical line.
+        (sample,) = [l for l in text.splitlines() if l.startswith("esc_total")]
+        assert "line1" in sample and "line2" in sample
+
+    def test_literal_backslash_n_survives_distinct_from_newline(self):
+        # A value already containing the two characters '\' 'n' must not
+        # collide with an escaped newline: '\n' (2 chars) -> '\\n'.
+        text = self._render("a\\nb")
+        assert 'name="a\\\\nb"' in text
+
+    def test_escaping_order_backslash_first(self):
+        # '\"' in the input: the backslash doubles, then the quote escapes,
+        # giving '\\\"' -- not the other order which would yield '\\\\"'.
+        text = self._render('\\"')
+        assert 'name="\\\\\\""' in text
+
+    def test_all_three_together_round_trip_through_validator(self):
+        text = self._render('q" b\\ n\n end')
+        assert 'name="q\\" b\\\\ n\\n end"' in text
+
+
 class TestValidator:
     def test_rejects_malformed_sample(self):
         with pytest.raises(ValueError, match="malformed sample"):

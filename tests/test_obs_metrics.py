@@ -8,6 +8,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_histogram_snapshots,
 )
 
 
@@ -148,6 +149,68 @@ class TestRegistry:
         registry.reset()
         assert list(registry.collect()) == []
         assert registry.get("a_total") is None
+
+
+class TestHistogramMerge:
+    """The fixed log-bucket invariant: snapshots from separate runs merge."""
+
+    def test_merge_equals_observing_everything_in_one_histogram(self):
+        run_a = Histogram("h_seconds", "test")
+        run_b = Histogram("h_seconds", "test")
+        combined = Histogram("h_seconds", "test")
+        values_a = (1e-7, 1e-4, 0.02, 0.5)
+        values_b = (3e-6, 0.02, 2.0, 50.0)
+        for value in values_a:
+            run_a.observe(value)
+            combined.observe(value)
+        for value in values_b:
+            run_b.observe(value)
+            combined.observe(value)
+        merged = merge_histogram_snapshots([run_a.snapshot(), run_b.snapshot()])
+        assert merged["buckets"] == combined.snapshot()["buckets"]
+        assert merged["count"] == combined.snapshot()["count"]
+        assert merged["sum"] == pytest.approx(combined.snapshot()["sum"])
+
+    def test_merged_cumulative_counts_stay_monotone(self):
+        runs = []
+        for seed, values in enumerate(((0.001, 0.1), (1e-5, 5.0, 0.2), (30.0,))):
+            histogram = Histogram("h_seconds", "test")
+            for value in values:
+                histogram.observe(value)
+            runs.append(histogram.snapshot())
+        merged = merge_histogram_snapshots(runs)
+        counts = list(merged["buckets"].values())
+        assert counts == sorted(counts)
+        assert merged["buckets"]["+Inf"] == merged["count"] == 6
+
+    def test_different_bucket_bounds_are_rejected(self):
+        coarse = Histogram("h_seconds", "test", buckets=(0.1, 1.0))
+        fine = Histogram("h_seconds", "test", buckets=(0.01, 0.1, 1.0))
+        coarse.observe(0.5)
+        fine.observe(0.5)
+        with pytest.raises(ValueError, match="different bucket bounds"):
+            merge_histogram_snapshots([coarse.snapshot(), fine.snapshot()])
+
+    def test_empty_snapshots_merge_as_identity(self):
+        histogram = Histogram("h_seconds", "test", buckets=(1.0,))
+        histogram.observe(0.5)
+        empty = Histogram("h_seconds", "test", buckets=(1.0,)).snapshot()
+        merged = merge_histogram_snapshots([empty, histogram.snapshot(), empty])
+        assert merged == histogram.snapshot()
+        assert merge_histogram_snapshots([]) == {"buckets": {}, "sum": 0.0, "count": 0}
+
+    def test_merge_is_order_independent(self):
+        snapshots = []
+        for values in ((0.001,), (0.5, 3.0), (1e-6, 0.02)):
+            histogram = Histogram("h_seconds", "test")
+            for value in values:
+                histogram.observe(value)
+            snapshots.append(histogram.snapshot())
+        forward = merge_histogram_snapshots(snapshots)
+        backward = merge_histogram_snapshots(list(reversed(snapshots)))
+        assert forward["buckets"] == backward["buckets"]
+        assert forward["count"] == backward["count"]
+        assert forward["sum"] == pytest.approx(backward["sum"])
 
 
 class TestProcessRegistryIsolation:
