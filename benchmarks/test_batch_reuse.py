@@ -11,7 +11,7 @@ over time instead of eyeballing ascii tables.
 
 import json
 
-from repro.bench.harness import run_algorithm
+from repro.bench.harness import bench_provenance, run_algorithm
 from repro.bench.reporting import format_table
 from repro.session import QuerySession
 
@@ -86,6 +86,7 @@ def test_batch_reuse_speedup(datasets, report, benchmark):
         # stored trajectory shows *which* phase the reuse removes.
         "cold_phases": phase_breakdowns["cold"],
         "warm_phases": phase_breakdowns["warm"],
+        "provenance": bench_provenance(),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(RESULTS_DIR / "BENCH_batch_reuse.json", "w") as handle:

@@ -31,10 +31,10 @@ def test_fig8_partitioning(dataset_name, datasets, report, benchmark):
         ub = {"UB-greedy-p": [], "UB-greedy-d": []}
         for cores in CORE_COUNTS:
             for label, strategy in (("LB-greedy-d", "greedy-d"), ("LB-hash-p", "hash-p")):
-                engine = ParallelMIOEngine(collection, cores=cores, lb_strategy=strategy)
+                engine = ParallelMIOEngine(collection, cores=cores, lb_strategy=strategy, mode="simulated")
                 lb[label].append(engine.query(DEFAULT_R).phases["lower_bounding"])
             for label, strategy in (("UB-greedy-p", "greedy-p"), ("UB-greedy-d", "greedy-d")):
-                engine = ParallelMIOEngine(collection, cores=cores, ub_strategy=strategy)
+                engine = ParallelMIOEngine(collection, cores=cores, ub_strategy=strategy, mode="simulated")
                 ub[label].append(engine.query(DEFAULT_R).phases["upper_bounding"])
         return lb, ub
 

@@ -45,13 +45,14 @@ def test_fig9_parallel_algorithms(dataset_name, datasets, report, benchmark):
                 return result.total_time
 
             def run_bigrid():
-                result = ParallelMIOEngine(collection, cores=cores).query(DEFAULT_R)
+                result = ParallelMIOEngine(collection, cores=cores, mode="simulated").query(DEFAULT_R)
                 assert result.score == expected
                 return result.total_time
 
             def run_labeled():
                 result = ParallelMIOEngine(
-                    collection, cores=cores, label_store=store
+                    collection, cores=cores, label_store=store,
+                    mode="simulated",
                 ).query(DEFAULT_R)
                 assert result.algorithm == "bigrid-label-parallel"
                 assert result.score == expected

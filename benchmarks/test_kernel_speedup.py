@@ -14,7 +14,7 @@ workload must clear a 3x end-to-end speedup.
 
 import json
 
-from repro.bench.harness import run_algorithm
+from repro.bench.harness import bench_provenance, run_algorithm
 from repro.bench.reporting import format_table
 from repro.datasets import sample_collection
 from repro.kernels import numpy_kernel_available
@@ -112,7 +112,7 @@ def test_kernel_speedup(datasets, report, benchmark):
     with open(RESULTS_DIR / "BENCH_kernel_speedup.json", "w") as handle:
         json.dump(
             {"bench": "kernel_speedup", "r": DEFAULT_R, "target": TARGET_SPEEDUP,
-             "workloads": points},
+             "provenance": bench_provenance(), "workloads": points},
             handle, indent=2, sort_keys=True,
         )
         handle.write("\n")

@@ -21,6 +21,7 @@ import json
 import threading
 import time
 
+from repro.bench.harness import bench_provenance
 from repro.datasets import load_dataset
 from repro.errors import ReproError, ServiceOverloadedError
 from repro.service import MIOServer, ServiceApp, ServiceClient, ServiceConfig
@@ -132,6 +133,16 @@ def test_service_throughput_and_overload(report):
         "max_inflight": MAX_INFLIGHT,
         "max_queue": MAX_QUEUE,
         "serial_service_time_ms": round(service_time_s * 1000.0, 2),
+        "provenance": bench_provenance(
+            cores=app.primary.cores,
+            parallel_mode=(
+                app.primary.parallel_mode if app.primary.cores > 1 else "serial"
+            ),
+            shards=(
+                (app.primary.shards or app.primary.cores)
+                if app.primary.cores > 1 else 0
+            ),
+        ),
         "steady": steady,
         "overload": overload,
         "service": {

@@ -32,7 +32,7 @@ def test_table3_speedup(dataset_name, datasets, report, benchmark):
         # Warm-up: the very first query pays cache/allocator warm-up that
         # would otherwise inflate the t=1 baseline (and fake superlinear
         # speedups).
-        ParallelMIOEngine(collection, cores=1).query(DEFAULT_R)
+        ParallelMIOEngine(collection, cores=1, mode="simulated").query(DEFAULT_R)
         speedups = {"bigrid": [], "bigrid-label": []}
         base = {}
         for cores in CORE_COUNTS:
@@ -42,7 +42,7 @@ def test_table3_speedup(dataset_name, datasets, report, benchmark):
             ):
                 def run_once(name=name, kwargs=kwargs, cores=cores):
                     result = ParallelMIOEngine(
-                        collection, cores=cores, **kwargs
+                        collection, cores=cores, mode="simulated", **kwargs
                     ).query(DEFAULT_R)
                     assert result.score == expected
                     return result.total_time

@@ -11,6 +11,8 @@ and Table II report.
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -32,6 +34,30 @@ ALGORITHMS = (
     "nl", "nl-kdtree", "nl-rtree", "sg", "bigrid", "bigrid-label",
     "bigrid-session", "theoretical",
 )
+
+
+def bench_provenance(
+    *, cores: int = 1, parallel_mode: str = "serial", shards: int = 0
+) -> Dict[str, object]:
+    """Execution-environment stamp for a ``BENCH_*.json`` artifact.
+
+    A recorded speedup is meaningless without knowing what ran it: a
+    "2x parallel speedup" measured on a one-core container is noise, and
+    a serial artifact replayed on a 64-core box should not be compared
+    against parallel floors.  Every artifact writer embeds this block so
+    ``repro report --check-bench`` can tell which floors legitimately
+    apply to the recorded numbers.
+
+    ``parallel_mode`` is ``"serial"`` for single-engine runs, else one
+    of :data:`repro.parallel.engine.PARALLEL_MODES`; ``shards`` is 0
+    whenever the run was not sharded.
+    """
+    return {
+        "cpu_count": int(os.cpu_count() or 1),
+        "cores": int(cores),
+        "parallel_mode": str(parallel_mode),
+        "shards": int(shards),
+    }
 
 
 @dataclass

@@ -110,9 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="query deadline in milliseconds; expiring during "
                             "verification yields an anytime (inexact) answer")
     query.add_argument("--retries", type=int, default=2,
-                       help="per-partition-task retry budget (parallel engine)")
+                       help="per-task retry budget (parallel engine)")
     query.add_argument("--cores", type=int, default=1,
-                       help="simulated cores; >1 uses the parallel engine")
+                       help="worker processes; >1 uses the parallel engine")
+    query.add_argument("--parallel-mode", default="sharded",
+                       choices=("sharded", "simulated"),
+                       help="parallel execution: real shard workers "
+                            "(default) or the legacy makespan simulation")
+    query.add_argument("--shards", type=int, default=None,
+                       help="shards per sharded query (default: one per core)")
     query.add_argument("--trace", action="store_true",
                        help="print the query's span tree under the answer")
     query.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -142,9 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compute kernel for the query phases; auto "
                             "feature-detects numpy (default: auto)")
     batch.add_argument("--cores", type=int, default=1,
-                       help="simulated cores; >1 fans with-label queries out")
+                       help="worker processes; >1 fans with-label queries out")
+    batch.add_argument("--parallel-mode", default="sharded",
+                       choices=("sharded", "simulated"),
+                       help="parallel execution: real shard workers "
+                            "(default) or the legacy makespan simulation")
+    batch.add_argument("--shards", type=int, default=None,
+                       help="shards per sharded query (default: one per core)")
     batch.add_argument("--retries", type=int, default=2,
-                       help="per-partition-task retry budget (parallel engine)")
+                       help="per-task retry budget (parallel engine)")
     batch.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the batch's span trees as JSON")
     batch.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -170,7 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--kernel", default="auto", choices=KERNEL_NAMES,
                        help="compute kernel for the primary execution path")
     serve.add_argument("--cores", type=int, default=1,
-                       help="simulated cores for the primary path")
+                       help="worker processes for the primary path")
+    serve.add_argument("--parallel-mode", default="sharded",
+                       choices=("sharded", "simulated"),
+                       help="parallel execution for the primary path")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="shards per sharded query (default: one per core)")
     serve.add_argument("--max-inflight", type=int, default=4,
                        help="requests executing concurrently")
     serve.add_argument("--max-queue", type=int, default=16,
@@ -205,7 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--kernel", default="auto", choices=KERNEL_NAMES,
                          help="compute kernel for the query phases")
     explain.add_argument("--cores", type=int, default=1,
-                         help="simulated cores; >1 uses the parallel engine")
+                         help="worker processes; >1 uses the parallel engine")
+    explain.add_argument("--parallel-mode", default="sharded",
+                         choices=("sharded", "simulated"),
+                         help="parallel execution: real shard workers "
+                              "(default) or the legacy makespan simulation")
+    explain.add_argument("--shards", type=int, default=None,
+                         help="shards per sharded query (default: one per core)")
 
     report = commands.add_parser(
         "report",
@@ -332,15 +355,22 @@ def _run_query(args: argparse.Namespace) -> int:
             engine = ParallelMIOEngine(
                 collection, cores=args.cores, backend=args.backend,
                 retries=args.retries, tracer=tracer, kernel=args.kernel,
+                mode=args.parallel_mode, shards=args.shards,
             )
         else:
             engine = MIOEngine(
                 collection, backend=args.backend, tracer=tracer, kernel=args.kernel
             )
-        if args.topk > 1:
-            result = engine.query_topk(args.r, args.topk, timeout_ms=args.timeout_ms)
-        else:
-            result = engine.query(args.r, timeout_ms=args.timeout_ms)
+        try:
+            if args.topk > 1:
+                result = engine.query_topk(
+                    args.r, args.topk, timeout_ms=args.timeout_ms
+                )
+            else:
+                result = engine.query(args.r, timeout_ms=args.timeout_ms)
+        finally:
+            if isinstance(engine, ParallelMIOEngine):
+                engine.close()
     print(f"algorithm : {result.algorithm}")
     print(f"winner    : o_{result.winner}")
     print(f"score     : {result.score} of {collection.n - 1} objects")
@@ -369,19 +399,26 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if args.cores != 1:
         engine = ParallelMIOEngine(
             collection, cores=args.cores, backend=args.backend, tracer=tracer,
-            kernel=args.kernel,
+            kernel=args.kernel, mode=args.parallel_mode, shards=args.shards,
         )
     else:
         engine = MIOEngine(
             collection, backend=args.backend, tracer=tracer, kernel=args.kernel
         )
-    if args.topk > 1:
-        result = engine.query_topk(args.r, args.topk)
-    else:
-        result = engine.query(args.r)
+    try:
+        if args.topk > 1:
+            result = engine.query_topk(args.r, args.topk)
+        else:
+            result = engine.query(args.r)
+    finally:
+        if isinstance(engine, ParallelMIOEngine):
+            engine.close()
     print(f"{result.algorithm} over {args.path} at r={args.r}")
     print(f"winner    : o_{result.winner} (tau = {result.score} "
           f"of {collection.n - 1} objects)")
+    if "shards" in result.counters:
+        print(f"shards    : {result.counters['shards']} "
+              f"across {result.counters.get('cores', args.cores)} worker(s)")
     if result.topk:
         for rank, (oid, score) in enumerate(result.topk, start=1):
             print(f"  #{rank}: o_{oid} (tau = {score})")
@@ -473,7 +510,8 @@ def _run_batch(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else None
     session = QuerySession(
         collection, backend=backend, cores=args.cores, retries=args.retries,
-        tracer=tracer, kernel=args.kernel,
+        tracer=tracer, kernel=args.kernel, parallel_mode=args.parallel_mode,
+        shards=args.shards,
     )
     log_stream = None
     try:
@@ -482,6 +520,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             obs_logging.configure(log_stream)
         results = session.query_many(queries)
     finally:
+        session.close()
         if log_stream is not None:
             obs_logging.configure(None)
             log_stream.close()
@@ -558,11 +597,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_s=args.drain_s,
         sample_rate=args.sample_rate,
         slow_query_ms=args.slow_ms,
+        cores=args.cores,
+        parallel_mode=args.parallel_mode,
+        shards=args.shards,
     )
-    app = ServiceApp(
-        collection, config,
-        backend=args.backend, kernel=args.kernel, cores=args.cores,
-    )
+    app = ServiceApp(collection, config, backend=args.backend, kernel=args.kernel)
     if args.telemetry_out:
         get_telemetry().reconfigure(sink=ProfileSink(args.telemetry_out))
     server = MIOServer(app)

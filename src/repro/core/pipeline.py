@@ -148,6 +148,7 @@ class QueryContext:
         lower_cache=None,
         engine=None,
         kernel=None,
+        shards=None,
     ) -> None:
         self.collection = collection
         self.r = r
@@ -165,6 +166,9 @@ class QueryContext:
         #: (cores, strategies, executor) and publish inspection state
         #: (``last_bigrid``) through it.
         self.engine = engine
+        #: Shard-count override for the sharded parallel stages (None:
+        #: the engine's configured shard count).
+        self.shards: Optional[int] = shards
         self.ceil_r = math.ceil(r)
         self.stats = PhaseStats()
         self.notes: Dict[str, str] = {}
@@ -192,6 +196,10 @@ class QueryContext:
         self.ranking: Optional[List[Tuple[int, int]]] = None
         self.verified: int = 0
         self.result: Optional[MIOResult] = None
+        # -- sharded-pipeline intermediates (repro.parallel.stages) --------
+        self.shard_plan = None
+        self.shard_outcomes = None
+        self.merged = None
 
 
 # ----------------------------------------------------------------------

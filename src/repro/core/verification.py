@@ -51,6 +51,10 @@ class VerificationResult:
     #: "numpy-batch", "parallel-chunked").  Informational only — every path
     #: is bit-exact — surfaced through ``repro explain`` notes.
     path: str = "reference"
+    #: Every settled ``(oid, exact_score)`` pair in dequeue order (not just
+    #: the top-k).  The sharded merge replays the serial best-first loop
+    #: from these, reproducing its early-termination tie selection exactly.
+    settled: Optional[List[Tuple[int, int]]] = None
 
 
 MaskProvider = Callable[[int], np.ndarray]
@@ -90,6 +94,7 @@ def best_first_verification(
         raise InvalidQueryError("k must be at least 1")
     #: Min-heap of the k best ``(score, -oid)`` pairs seen so far.
     best_heap: List[Tuple[int, int]] = []
+    settled: List[Tuple[int, int]] = []
     verified = 0
     early = False
     timed_out = False
@@ -110,6 +115,7 @@ def best_first_verification(
             timed_out = True
             break
         verified += 1
+        settled.append((oid, score))
         entry = (score, -oid)
         if len(best_heap) < k:
             heappush(best_heap, entry)
@@ -133,6 +139,7 @@ def best_first_verification(
         early_terminated=early,
         timed_out=timed_out,
         path=path,
+        settled=settled,
     )
 
 

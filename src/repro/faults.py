@@ -39,6 +39,7 @@ INJECTION_POINTS = (
     "upper_bounding",
     "verification",
     "partition_task",
+    "shard_task",
     "backend",
     "io",
 )

@@ -100,7 +100,7 @@ def _row_int(words: np.ndarray) -> int:
     return int.from_bytes(words.astype("<u8", copy=False).tobytes(), "little")
 
 
-def _encode_keys(keys: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+def encode_keys(keys: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
     """Mixed-radix ``int64`` codes for integer key rows, or None on overflow.
 
     Axes are shifted to a 1-cell margin on both sides so that *neighbour*
@@ -108,7 +108,8 @@ def _encode_keys(keys: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
     ``code(key + offset) == code(key) + dot(offset, strides)`` for every
     key present in ``keys``.  Returns ``(codes, strides)``; None when the
     padded extent product would overflow (the caller falls back to the
-    reference implementation).
+    reference implementation).  Public because the shard router reuses
+    the same codes to place objects on a space-filling curve.
     """
     mins = keys.min(axis=0) - 1
     shifted = keys - mins
@@ -124,6 +125,10 @@ def _encode_keys(keys: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         strides[axis] = accumulated
         accumulated *= int(extents[axis])
     return shifted @ strides, strides
+
+
+#: Back-compat alias; prefer the public name.
+_encode_keys = encode_keys
 
 
 class LazyBitsetSmallCell(SmallGridCell):
@@ -377,8 +382,8 @@ class NumpyKernel(KernelBackend):
             else np.floor(points / l_width).astype(np.int64)
         )
 
-        encoded_small = _encode_keys(small_keys)
-        encoded_large = _encode_keys(large_keys)
+        encoded_small = encode_keys(small_keys)
+        encoded_large = encode_keys(large_keys)
         if encoded_small is None or encoded_large is None:
             # Cell-index spread too wide for int64 codes: astronomically
             # sparse input, not worth a second encoding scheme.

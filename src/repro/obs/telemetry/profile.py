@@ -25,6 +25,8 @@ field              meaning
 ``notes``          degradation + dispatch notes (``verification_path``,
                    ``lower_bound_path``, ``degraded_*``)
 ``memory_bytes``   index size
+``shards``         shard fan-out of a sharded parallel query (0 for
+                   serial/simulated execution)
 =================  =====================================================
 
 :class:`ProfileStore` keeps the most recent ``capacity`` profiles in a
@@ -209,4 +211,5 @@ def build_profile(
         "counters": dict(result.counters),
         "notes": dict(result.notes),
         "memory_bytes": int(result.memory_bytes or 0),
+        "shards": int(result.counters.get("shards", 0)),
     }

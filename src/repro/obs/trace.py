@@ -43,6 +43,9 @@ PHASE_SPAN_NAMES = frozenset(
         "verification",
         "label_input",
         "label_output",
+        "shard_route",
+        "shard_execute",
+        "shard_merge",
     )
 )
 

@@ -1,33 +1,36 @@
 """Parallel MIO query processing (Section IV).
 
 :class:`ParallelMIOEngine` is the shared
-:class:`~repro.core.pipeline.PhasePipeline` configured with the parallel
-stage set (:mod:`repro.parallel.stages`): the same four BIGrid phases,
-run under the paper's partitioning schemes on a
-:class:`~repro.parallel.executor.SimulatedExecutor` (DESIGN.md §5).
-Answers are exact and identical to the serial engine, and each phase
-reports the simulated makespan of its schedule.  The reported ``phases``
-are therefore *parallel* times, while ``extra["serial:..."]`` keeps the
-serial cost of the same work so speedups can be computed.
+:class:`~repro.core.pipeline.PhasePipeline` configured with one of two
+parallel stage sets:
 
-Two pipeline configuration differences from the serial engine, both
-preserved from the pre-pipeline behavior: fault trips and deadline
-checkpoints run *inside* each phase span (``trip_inside_span``), so an
-injected fault is recorded on the span before the fallback sees it; and
-the root span's duration is overridden with the simulated total
-(``makespan_root``), so the trace tree sums like ``result.total_time``.
+``mode="sharded"`` (the default) is *real* multiprocess execution: the
+collection is routed onto curve-contiguous shards with exact Lemma-2
+halos (:mod:`repro.shard.router`), each shard runs the full vectorized
+phase chain in a persistent worker process over shared-memory
+coordinates (:mod:`repro.shard.executor`), and the coordinator replays
+the serial best-first loop over the shards' answers
+(:mod:`repro.shard.merge`) — so the answer is bit-identical to the
+serial engine, including tie selection, while the phases are genuine
+wall-clock times that shrink with cores.
 
-Serial fallback is the pipeline's ``fallback`` hook: when a partition
-task dies past its retry budget (or a fault fires in an unretried inline
-loop), the query re-runs through the serial stage set -- a mid-run
-stage-implementation swap, not a separate code path.  The serial engine
-opens its own ``query`` span (a child of ours) and observes itself as
-``engine="serial"``, so the fallback is visible in both the trace and
-the metrics without double counting.
+``mode="simulated"`` is the legacy single-process engine kept for the
+paper's Fig. 9 schedule study: the same four BIGrid phases run under
+the paper's partitioning schemes on a
+:class:`~repro.parallel.executor.SimulatedExecutor` (DESIGN.md §5), and
+each phase reports the simulated *makespan* of its schedule while
+``extra["serial:..."]`` keeps the serial cost so speedups can be
+computed.  Only this mode consumes labels (the Fig. 9 "BIGrid-label"
+configuration); the sharded mode always runs label-free, because labels
+encode the canonical serial access order of the *whole* collection.
 
-Labels produced by earlier *serial* queries are consumed (the Fig. 9
-"BIGrid-label" configuration); the parallel engine never writes labels,
-because labeling requires the canonical serial access order.
+Serial fallback is the pipeline's ``fallback`` hook in both modes: when
+a task dies past its retry budget (a shard worker in sharded mode, a
+partition task in simulated mode), the query re-runs through the serial
+stage set — a mid-run stage-implementation swap, not a separate code
+path.  The serial engine opens its own ``query`` span (a child of ours)
+and observes itself as ``engine="serial"``, so the fallback is visible
+in both the trace and the metrics without double counting.
 
 :func:`parallel_nested_loop` and :func:`parallel_simple_grid` (re-exported
 from :mod:`repro.parallel.competitors`) are the paper's parallel
@@ -53,17 +56,21 @@ from repro.parallel.competitors import (  # noqa: F401  (public re-exports)
     parallel_simple_grid,
 )
 from repro.parallel.executor import SimulatedExecutor
-from repro.parallel.stages import PARALLEL_STAGES
+from repro.parallel.stages import PARALLEL_STAGES, SHARDED_STAGES
 from repro.resilience import Deadline
+from repro.shard.curves import CURVES
+from repro.shard.executor import ShardExecutor
+from repro.shard.router import ShardPlanCache
 
 LB_STRATEGIES = ("greedy-d", "hash-p")
 UB_STRATEGIES = ("greedy-p", "greedy-d")
+PARALLEL_MODES = ("sharded", "simulated")
 
 
 def _fall_back_to_serial(ctx: QueryContext, cause: Exception, root) -> MIOResult:
     """Swap in the serial stage set mid-run (the pipeline's fallback hook).
 
-    A partition task died past its retry budget (or a fault fired in an
+    A parallel task died past its retry budget (or a fault fired in an
     unretried inline loop).  The answer is still computable: degrade to
     the serial engine rather than crash the query.
     """
@@ -96,12 +103,14 @@ def _fall_back_to_serial(ctx: QueryContext, cause: Exception, root) -> MIOResult
     return result
 
 
-#: The one orchestrator, configured for simulated-parallel execution.
+#: The orchestrator configured for simulated-parallel execution (legacy
+#: ``mode="simulated"``; see the module docstring).
 PARALLEL_PIPELINE = PhasePipeline(
     PARALLEL_STAGES,
     engine="parallel",
     root_attributes=lambda ctx: {
         "cores": ctx.engine.cores,
+        "mode": "simulated",
         "r": ctx.r,
         "k": ctx.k,
         "backend": ctx.backend,
@@ -113,9 +122,34 @@ PARALLEL_PIPELINE = PhasePipeline(
     fallback_errors=(PartitionTaskError, InjectedFault),
 )
 
+#: The orchestrator configured for real shard-parallel execution
+#: (``mode="sharded"``, the default).  Stages are wall-clock-timed like
+#: the serial pipeline's, so ``derive_phases`` stays on and the root
+#: span keeps its measured duration.
+SHARDED_PIPELINE = PhasePipeline(
+    SHARDED_STAGES,
+    engine="parallel",
+    root_attributes=lambda ctx: {
+        "cores": ctx.engine.cores,
+        "shards": ctx.shards if ctx.shards is not None else ctx.engine.shards,
+        "mode": "sharded",
+        "r": ctx.r,
+        "k": ctx.k,
+        "backend": ctx.backend,
+    },
+    fallback=_fall_back_to_serial,
+    fallback_errors=(PartitionTaskError, InjectedFault),
+)
+
 
 class ParallelMIOEngine:
-    """Multi-core MIO query processing with simulated makespan accounting."""
+    """Multi-core MIO query processing.
+
+    ``mode="sharded"`` (default) runs each query across a persistent
+    pool of ``cores`` worker processes (exact, serial-identical answers;
+    real wall-clock speedup); ``mode="simulated"`` keeps the legacy
+    single-process schedule simulation with makespan accounting.
+    """
 
     def __init__(
         self,
@@ -131,6 +165,9 @@ class ParallelMIOEngine:
         key_cache: Optional[LargeKeyCache] = None,
         tracer=None,
         kernel: str = "python",
+        mode: str = "sharded",
+        shards: Optional[int] = None,
+        curve: str = "hilbert",
     ) -> None:
         if lb_strategy not in LB_STRATEGIES:
             raise InvalidQueryError(f"lb_strategy must be one of {LB_STRATEGIES}")
@@ -138,6 +175,14 @@ class ParallelMIOEngine:
             raise InvalidQueryError(f"ub_strategy must be one of {UB_STRATEGIES}")
         if label_reuse not in ("safe", "paper"):
             raise InvalidQueryError('label_reuse must be "safe" or "paper"')
+        if mode not in PARALLEL_MODES:
+            raise InvalidQueryError(f"mode must be one of {PARALLEL_MODES}")
+        if curve not in CURVES:
+            raise InvalidQueryError(f"curve must be one of {CURVES}")
+        if shards is not None and shards < 1:
+            raise InvalidQueryError("shards must be at least 1")
+        if cores < 1:
+            raise InvalidQueryError("cores must be at least 1")
         resolve_kernel(kernel)  # validate the name up front
         self.collection = collection
         self.executor = SimulatedExecutor(cores, retries=retries)
@@ -147,24 +192,60 @@ class ParallelMIOEngine:
         self.ub_strategy = ub_strategy
         self.label_store = label_store
         self.label_reuse = label_reuse
-        #: Re-executions granted to a failing partition task before the
-        #: round aborts (and, with ``serial_fallback``, the query degrades
-        #: to the serial engine instead of crashing).
+        #: Re-executions granted to a failing task before the round
+        #: aborts (and, with ``serial_fallback``, the query degrades to
+        #: the serial engine instead of crashing).
         self.retries = retries
         self.serial_fallback = serial_fallback
         #: Optional session-shared large-grid key cache (see
         #: :class:`~repro.grid.cache.LargeKeyCache`): the key computation in
         #: grid mapping is reused across same-ceiling queries, exactly as in
         #: the serial engine.  The serial fallback engine shares it too.
+        #: (Simulated mode only; shard workers build their own grids.)
         self.key_cache = key_cache
-        #: Optional tracer: each query records phase spans whose durations
-        #: are the simulated makespans (matching ``phases``), with one
-        #: child span per simulated core carrying that core's load.
+        #: Optional tracer: each query records phase spans (wall-clock in
+        #: sharded mode with one child span per shard; simulated makespans
+        #: in simulated mode with one child span per simulated core).
         self.tracer = tracer
-        #: Compute-kernel backend (see :mod:`repro.kernels`); the parallel
-        #: stages use its key computation and distance primitive, and the
-        #: serial fallback engine inherits it.
+        #: Compute-kernel backend (see :mod:`repro.kernels`); shard
+        #: workers run its full phase chain, the simulated stages use its
+        #: key computation and distance primitive, and the serial
+        #: fallback engine inherits it.
         self.kernel = kernel
+        #: Execution mode: "sharded" (real processes) or "simulated".
+        self.mode = mode
+        #: Shards per query in sharded mode (default: one per core).
+        self.shards = shards if shards is not None else cores
+        #: Space-filling curve the shard router orders cells by.
+        self.curve = curve
+        #: Routing decisions cached per ``(ceil_r, shards, curve)``.
+        self.plan_cache = ShardPlanCache()
+        self._shard_executor: Optional[ShardExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Sharded-execution resources
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_executor(self) -> ShardExecutor:
+        """The lazy worker pool (inline when ``cores <= 1``)."""
+        if self._shard_executor is None:
+            self._shard_executor = ShardExecutor(
+                self.collection, self.cores, retries=self.retries
+            )
+        return self._shard_executor
+
+    def close(self) -> None:
+        """Release worker processes and shared memory (idempotent)."""
+        if self._shard_executor is not None:
+            self._shard_executor.close()
+            self._shard_executor = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Public API
@@ -177,7 +258,7 @@ class ParallelMIOEngine:
         deadline: Optional[Deadline] = None,
         tracer=None,
     ) -> MIOResult:
-        """The MIO answer plus simulated per-phase parallel times."""
+        """The MIO answer plus per-phase parallel times."""
         if deadline is None:
             deadline = Deadline.from_timeout_ms(timeout_ms)
         return self._run(r, k=1, want_ranking=False, deadline=deadline, tracer=tracer)
@@ -220,10 +301,12 @@ class ParallelMIOEngine:
             deadline=deadline,
             tracer=tracer,
             backend=self.backend,
-            label_store=self.label_store,
+            label_store=self.label_store if self.mode == "simulated" else None,
             label_reuse=self.label_reuse,
             key_cache=self.key_cache,
             engine=self,
             kernel=self.kernel,
+            shards=self.shards if self.mode == "sharded" else None,
         )
-        return PARALLEL_PIPELINE.run(ctx)
+        pipeline = SHARDED_PIPELINE if self.mode == "sharded" else PARALLEL_PIPELINE
+        return pipeline.run(ctx)

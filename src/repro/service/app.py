@@ -151,7 +151,7 @@ class ServiceApp:
         *,
         backend: str = "ewah",
         kernel: str = "auto",
-        cores: int = 1,
+        cores: Optional[int] = None,
         label_dir=None,
         clock: Callable[[], float] = time.monotonic,
         breaker: Optional[CircuitBreaker] = None,
@@ -163,7 +163,13 @@ class ServiceApp:
         #: worker threads (the cache tiers are individually thread-safe and
         #: published label snapshots are read-only -- see LabelStore).
         self.primary = QuerySession(
-            source, backend=backend, kernel=kernel, cores=cores, label_dir=label_dir
+            source,
+            backend=backend,
+            kernel=kernel,
+            cores=cores if cores is not None else self.config.cores,
+            label_dir=label_dir,
+            parallel_mode=self.config.parallel_mode,
+            shards=self.config.shards,
         )
         #: Fallback path: the most dependable stack we have -- pure-python
         #: kernel, plain bitsets, serial engine, no shared label directory.
@@ -667,7 +673,12 @@ class ServiceApp:
         """Begin drain and wait for in-flight requests (True = drained)."""
         self.begin_drain()
         budget = self.config.drain_s if timeout_s is None else timeout_s
-        return self.admission.await_idle(budget)
+        drained = self.admission.await_idle(budget)
+        # Shard workers (and their shared-memory block) must not outlive
+        # the service; releasing after the drain keeps in-flight sharded
+        # queries intact.
+        self.primary.close()
+        return drained
 
     def snapshot(self) -> Dict[str, object]:
         """Service-level stats (the CLI prints this on shutdown)."""
@@ -678,4 +689,9 @@ class ServiceApp:
             "admission": self.admission.snapshot(),
             "breaker": self.breaker.snapshot(),
             "session": self.primary.stats(),
+            "parallel": {
+                "cores": self.primary.cores,
+                "mode": self.primary.parallel_mode,
+                "shards": self.primary.shards or self.primary.cores,
+            },
         }

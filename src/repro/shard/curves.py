@@ -1,0 +1,319 @@
+"""Space-filling-curve codes over integer grid cells.
+
+The shard router (:mod:`repro.shard.router`) orders objects along a
+space-filling curve over their large-grid cells and cuts the order into
+contiguous ranges — one shard per range.  Curve locality then makes each
+shard spatially compact, which keeps the cross-shard halo (the objects a
+shard must *see* but does not own) small.
+
+Two curves are provided, both vectorized over ``(n, d)`` coordinate
+arrays:
+
+* **Z-order (Morton)**: plain bit interleaving.  Cheap, monotone per
+  axis, but curve-adjacent codes can be spatially far apart (the
+  "seam" jumps at power-of-two boundaries).
+* **Hilbert**: Skilling's transpose algorithm [Skilling 2004,
+  AIP Conf. Proc. 707].  Slightly more per-bit work, but consecutive
+  codes are *always* grid-adjacent (L1 distance exactly 1), which the
+  property suite pins and which is why it is the router default.
+
+Both carry a big-int pure-python fallback for cell spreads whose
+interleaved code would overflow 62 bits — mirroring the mixed-radix
+``int64`` cell-code overflow fallback in the numpy kernel
+(:func:`repro.kernels.numpy_backend.encode_keys`).  The fallback is
+bit-identical to the vectorized path wherever both apply; the property
+suite enforces that too.
+
+Coordinates handed to the encoders must be non-negative integers;
+:func:`curve_codes` is the top-level helper that shifts arbitrary
+(possibly negative) cell keys, picks the bit depth, and selects the
+vectorized or big-int path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import InvalidQueryError
+
+#: Curve names accepted by :func:`curve_codes` and the router.
+CURVES = ("hilbert", "zorder")
+
+#: Interleaved codes above this many bits leave the vectorized ``uint64``
+#: path (the top bit is reserved so codes stay exactly representable as
+#: non-negative ``int64``, matching the kernel's cell-code budget).
+MAX_VECTOR_BITS = 62
+
+
+def axis_bits(extents: Sequence[int]) -> int:
+    """Bits per axis needed to index cells in ``[0, extent)`` on every axis.
+
+    At least 1 so degenerate (single-cell) inputs still produce a valid
+    0-bit-pattern traversal.
+    """
+    most = max((int(e) for e in extents), default=1)
+    return max(1, (most - 1).bit_length()) if most > 1 else 1
+
+
+# ----------------------------------------------------------------------
+# Z-order (Morton)
+# ----------------------------------------------------------------------
+
+
+def zorder_encode(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Morton codes for non-negative integer ``(n, d)`` coordinates.
+
+    Bit ``q`` of axis ``i`` lands at interleaved bit ``q*d + (d-1-i)``,
+    i.e. axis 0 is the most significant axis within each bit group.
+    Requires ``d * bits <= MAX_VECTOR_BITS``.
+    """
+    work = _checked_uint64(coords, bits)
+    n, d = work.shape
+    codes = np.zeros(n, dtype=np.uint64)
+    for q in range(bits - 1, -1, -1):
+        for i in range(d):
+            codes = (codes << np.uint64(1)) | ((work[:, i] >> np.uint64(q)) & np.uint64(1))
+    return codes.astype(np.int64)
+
+
+def zorder_decode(codes: np.ndarray, dimension: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`zorder_encode` — ``(n, d)`` coordinates."""
+    work = np.asarray(codes, dtype=np.int64).astype(np.uint64)
+    n = work.shape[0]
+    coords = np.zeros((n, dimension), dtype=np.uint64)
+    position = 0
+    for q in range(bits - 1, -1, -1):
+        for i in range(dimension):
+            shift = np.uint64(bits * dimension - 1 - position)
+            coords[:, i] = (coords[:, i] << np.uint64(1)) | (
+                (work >> shift) & np.uint64(1)
+            )
+            position += 1
+    return coords.astype(np.int64)
+
+
+def zorder_encode_int(coord: Sequence[int], bits: int) -> int:
+    """Big-int Morton code for one coordinate row (no bit-width limit)."""
+    code = 0
+    for q in range(bits - 1, -1, -1):
+        for value in coord:
+            code = (code << 1) | ((int(value) >> q) & 1)
+    return code
+
+
+def zorder_decode_int(code: int, dimension: int, bits: int) -> List[int]:
+    """Inverse of :func:`zorder_encode_int`."""
+    coord = [0] * dimension
+    for position in range(bits * dimension):
+        axis = position % dimension
+        bit = (code >> (bits * dimension - 1 - position)) & 1
+        coord[axis] = (coord[axis] << 1) | bit
+    return coord
+
+
+# ----------------------------------------------------------------------
+# Hilbert (Skilling's transpose algorithm)
+# ----------------------------------------------------------------------
+
+
+def hilbert_encode(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Hilbert indices for non-negative integer ``(n, d)`` coordinates.
+
+    Vectorized Skilling AxesToTranspose: the per-bit conditional swaps
+    become boolean-mask selects, then the transpose form is interleaved
+    exactly like :func:`zorder_encode`.  Consecutive indices map to
+    grid-adjacent cells (L1 distance 1) — the locality property the
+    router relies on.  Requires ``d * bits <= MAX_VECTOR_BITS``.
+    """
+    work = _checked_uint64(coords, bits)
+    axes = [work[:, i].copy() for i in range(work.shape[1])]
+    _axes_to_transpose(axes, bits, vector=True)
+    n, d = work.shape
+    codes = np.zeros(n, dtype=np.uint64)
+    for q in range(bits - 1, -1, -1):
+        for i in range(d):
+            codes = (codes << np.uint64(1)) | ((axes[i] >> np.uint64(q)) & np.uint64(1))
+    return codes.astype(np.int64)
+
+
+def hilbert_decode(codes: np.ndarray, dimension: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`hilbert_encode` — ``(n, d)`` coordinates."""
+    interleaved = zorder_decode(np.asarray(codes, dtype=np.int64), dimension, bits)
+    axes = [interleaved[:, i].astype(np.uint64) for i in range(dimension)]
+    _transpose_to_axes(axes, bits, vector=True)
+    return np.stack(axes, axis=1).astype(np.int64)
+
+
+def hilbert_encode_int(coord: Sequence[int], bits: int) -> int:
+    """Big-int Hilbert index for one coordinate row (no bit-width limit)."""
+    axes = [int(value) for value in coord]
+    _axes_to_transpose(axes, bits, vector=False)
+    return zorder_encode_int(axes, bits)
+
+
+def hilbert_decode_int(code: int, dimension: int, bits: int) -> List[int]:
+    """Inverse of :func:`hilbert_encode_int`."""
+    axes = zorder_decode_int(code, dimension, bits)
+    _transpose_to_axes(axes, bits, vector=False)
+    return [int(value) for value in axes]
+
+
+def _axes_to_transpose(axes, bits: int, vector: bool) -> None:
+    """In-place Skilling forward transform (axes -> transpose form).
+
+    ``axes`` is a list of per-axis values: ``uint64`` arrays on the
+    vectorized path, plain ints on the big-int path.  The two branches
+    run the *same* algebra so their outputs agree bit-for-bit wherever
+    both are representable.
+    """
+    d = len(axes)
+    m = 1 << (bits - 1)
+    # Inverse undo excess work
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(d):
+            if vector:
+                uq, up = np.uint64(q), np.uint64(p)
+                high = (axes[i] & uq) != 0
+                toggle = (axes[0] ^ axes[i]) & up
+                axes[0] = np.where(high, axes[0] ^ up, axes[0] ^ toggle)
+                axes[i] = np.where(high, axes[i], axes[i] ^ toggle)
+            else:
+                if axes[i] & q:
+                    axes[0] ^= p
+                else:
+                    t = (axes[0] ^ axes[i]) & p
+                    axes[0] ^= t
+                    axes[i] ^= t
+        q >>= 1
+    # Gray encode
+    for i in range(1, d):
+        axes[i] ^= axes[i - 1]
+    if vector:
+        t = np.zeros_like(axes[0])
+    else:
+        t = 0
+    q = m
+    while q > 1:
+        if vector:
+            mask = (axes[d - 1] & np.uint64(q)) != 0
+            t = np.where(mask, t ^ np.uint64(q - 1), t)
+        else:
+            if axes[d - 1] & q:
+                t ^= q - 1
+        q >>= 1
+    for i in range(d):
+        axes[i] ^= t
+
+
+def _transpose_to_axes(axes, bits: int, vector: bool) -> None:
+    """In-place Skilling inverse transform (transpose form -> axes)."""
+    d = len(axes)
+    m = 1 << (bits - 1)
+    if vector:
+        t = axes[d - 1] >> np.uint64(1)
+    else:
+        t = axes[d - 1] >> 1
+    for i in range(d - 1, 0, -1):
+        axes[i] ^= axes[i - 1]
+    axes[0] ^= t
+    q = 2
+    while q <= m:
+        p = q - 1
+        for i in range(d - 1, -1, -1):
+            if vector:
+                uq, up = np.uint64(q), np.uint64(p)
+                high = (axes[i] & uq) != 0
+                toggle = (axes[0] ^ axes[i]) & up
+                axes[0] = np.where(high, axes[0] ^ up, axes[0] ^ toggle)
+                axes[i] = np.where(high, axes[i], axes[i] ^ toggle)
+            else:
+                if axes[i] & q:
+                    axes[0] ^= p
+                else:
+                    t = (axes[0] ^ axes[i]) & p
+                    axes[0] ^= t
+                    axes[i] ^= t
+        q <<= 1
+
+
+def _checked_uint64(coords: np.ndarray, bits: int) -> np.ndarray:
+    array = np.asarray(coords)
+    if array.ndim != 2:
+        raise InvalidQueryError("curve coordinates must be a 2-D array")
+    if bits < 1:
+        raise InvalidQueryError("curve bit depth must be >= 1")
+    if bits * array.shape[1] > MAX_VECTOR_BITS:
+        raise InvalidQueryError(
+            f"{array.shape[1]}x{bits}-bit interleave exceeds the "
+            f"{MAX_VECTOR_BITS}-bit vectorized budget; use the big-int path"
+        )
+    if array.size and int(array.min()) < 0:
+        raise InvalidQueryError("curve coordinates must be non-negative")
+    return array.astype(np.uint64)
+
+
+# ----------------------------------------------------------------------
+# Top-level helper: arbitrary integer cell keys -> sortable curve codes
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CurveCodes:
+    """Curve codes for a batch of cell keys plus how they were produced."""
+
+    #: ``int64`` array on the vectorized path; list of python big ints on
+    #: the overflow fallback.  Either way, comparable and sortable, and
+    #: equal inputs yield equal codes across both paths.
+    codes: Union[np.ndarray, List[int]]
+    curve: str
+    bits: int
+    #: Per-axis minimum subtracted before encoding.
+    mins: np.ndarray
+    #: True when the big-int fallback ran (``d * bits`` over budget).
+    overflowed: bool
+
+    def argsort(self) -> np.ndarray:
+        """Stable order of the rows by code (ties keep row order)."""
+        if isinstance(self.codes, np.ndarray):
+            return np.argsort(self.codes, kind="stable")
+        return np.array(
+            sorted(range(len(self.codes)), key=self.codes.__getitem__),
+            dtype=np.int64,
+        )
+
+
+def curve_codes(keys: np.ndarray, curve: str = "hilbert") -> CurveCodes:
+    """Curve codes for arbitrary (possibly negative) integer cell keys.
+
+    Shifts keys to a zero origin, picks the per-axis bit depth from the
+    spread, and encodes on the vectorized ``uint64`` path when the
+    interleaved width fits :data:`MAX_VECTOR_BITS`, else on the big-int
+    fallback — the analogue of the kernel's mixed-radix overflow policy.
+    """
+    if curve not in CURVES:
+        raise InvalidQueryError(f"unknown curve {curve!r} (expected one of {CURVES})")
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.ndim != 2 or keys.shape[0] == 0:
+        raise InvalidQueryError("curve_codes expects a non-empty (n, d) key array")
+    mins = keys.min(axis=0)
+    shifted = keys - mins
+    extents = shifted.max(axis=0) + 1
+    bits = axis_bits(extents.tolist())
+    dimension = keys.shape[1]
+    if bits * dimension <= MAX_VECTOR_BITS:
+        encode = hilbert_encode if curve == "hilbert" else zorder_encode
+        return CurveCodes(
+            codes=encode(shifted, bits),
+            curve=curve,
+            bits=bits,
+            mins=mins,
+            overflowed=False,
+        )
+    encode_int = hilbert_encode_int if curve == "hilbert" else zorder_encode_int
+    codes = [encode_int(row, bits) for row in shifted.tolist()]
+    return CurveCodes(codes=codes, curve=curve, bits=bits, mins=mins, overflowed=True)

@@ -1,0 +1,106 @@
+"""Cross-shard merge: replay the serial best-first loop from shard data.
+
+Merging per-shard top-k heaps by score alone is *not* bit-identical to
+the serial engine: the serial best-first loop early-terminates the
+moment the next upper bound cannot beat the provisional k-th score, so
+among equal-score ties it keeps whichever objects entered the heap
+before termination — a function of the global candidate order, not of
+ids.  The merge therefore reconstructs that loop exactly:
+
+1. concatenate every shard's *owned* candidates and sort by
+   ``(-upper, oid)`` — the serial candidate order (owned upper bounds
+   equal global upper bounds, see :mod:`repro.shard.router`);
+2. walk them with the same threshold/heap/early-break logic as
+   :func:`repro.core.verification.best_first_verification`, looking
+   exact scores up in the shards' settled sets instead of re-verifying.
+
+Every score the replay needs is available: a shard's local pruning
+threshold is never above the serial one, so its settled set is a
+superset of the serial loop's verified set restricted to its owned
+objects.  Shards may also settle *extra* candidates (their threshold is
+weaker); those sort after every serial candidate and the replay breaks
+before needing them — unless a shard timed out mid-verification, in
+which case the replay degrades to the anytime contract (exact scores
+for a settled prefix, ``exact=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappush, heappushpop
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.shard.executor import ShardOutcome
+
+
+@dataclass
+class MergedAnswer:
+    """The global answer assembled from shard outcomes."""
+
+    #: ``(oid, score)`` by ``(-score, oid)`` — serial-identical when exact.
+    ranking: List[Tuple[int, int]]
+    #: Candidates the replay verified (the serial loop's count).
+    verified: int
+    early_terminated: bool
+    #: True when some shard timed out mid-verification and the replay ran
+    #: out of settled scores: the ranking is a sound settled prefix.
+    timed_out: bool
+    #: Global candidate count (union of owned candidate lists).
+    candidates: int
+    #: Best Lemma-1 lower bound across shards: ``(value, oid)``.
+    best_lb: Tuple[int, int]
+
+
+def merge_outcomes(outcomes: Sequence[ShardOutcome], k: int) -> MergedAnswer:
+    """Replay the serial best-first loop over the shards' candidate data.
+
+    Note the replay needs no deadline handling of its own: if every score
+    it asks for is present, the completed walk *is* the serial loop's
+    exact run — even when some shard was cut short (its settled prefix
+    may still cover everything the replay needed).
+    """
+    candidates: List[Tuple[int, int]] = []
+    scores: Dict[int, int] = {}
+    best_lb = (-1, -1)
+    for outcome in outcomes:
+        candidates.extend(outcome.owned_candidates)
+        scores.update(outcome.settled)
+        value, oid = outcome.best_lb
+        if (value, -oid) > (best_lb[0], -best_lb[1]):
+            best_lb = (value, oid)
+    candidates.sort(key=lambda entry: (-entry[0], entry[1]))
+
+    best_heap: List[Tuple[int, int]] = []
+    verified = 0
+    early = False
+    timed_out = False
+    for upper, oid in candidates:
+        threshold = best_heap[0][0] if len(best_heap) >= k else -1
+        if upper <= threshold:
+            early = True
+            break
+        score = scores.get(oid)
+        if score is None:
+            # Only reachable when a shard's verification was cut short by
+            # a deadline: surface the settled prefix as an anytime answer.
+            timed_out = True
+            break
+        verified += 1
+        entry = (score, -oid)
+        if len(best_heap) < k:
+            heappush(best_heap, entry)
+        elif entry > best_heap[0]:
+            heappushpop(best_heap, entry)
+
+    ranking = sorted(
+        ((-neg_oid, score) for score, neg_oid in best_heap),
+        key=lambda item: (-item[1], item[0]),
+    )
+    return MergedAnswer(
+        ranking=ranking,
+        verified=verified,
+        early_terminated=early,
+        timed_out=timed_out,
+        candidates=len(candidates),
+        best_lb=best_lb,
+    )

@@ -144,7 +144,7 @@ class TestFailureModes:
     def test_parallel_task_kill_falls_back_to_serial(
         self, dataset_file, capsys, monkeypatch
     ):
-        monkeypatch.setenv("REPRO_FAULTS", "partition_task:fail:1:0:2")
+        monkeypatch.setenv("REPRO_FAULTS", "shard_task:fail:1:0")
         code = main(
             ["query", dataset_file, "-r", "2.0", "--cores", "2", "--retries", "0"]
         )

@@ -154,7 +154,9 @@ class TestStaleLabelsParallel:
         second = random_collection(n=20, mean_points=6, seed=137)
         store = LabelStore()
         MIOEngine(first, label_store=store).query(2.0)
-        result = ParallelMIOEngine(second, cores=3, label_store=store).query(2.0)
+        result = ParallelMIOEngine(
+            second, cores=3, label_store=store, mode="simulated"
+        ).query(2.0)
         assert result.algorithm == "bigrid-parallel"  # labels rejected
         assert result.score == max(oracle_scores(second, 2.0))
 
@@ -405,7 +407,7 @@ class TestParallelFaultTolerance:
     def test_single_task_kill_recovers_by_retry(self):
         collection = random_collection(n=15, mean_points=5, seed=149)
         truth = max(oracle_scores(collection, 2.0))
-        engine = ParallelMIOEngine(collection, cores=3, retries=1)
+        engine = ParallelMIOEngine(collection, cores=3, retries=1, mode="simulated")
         spec = FaultSpec("partition_task", match=2, max_triggers=1)
         with faults.injected(FaultInjector([spec])) as injector:
             result = engine.query(2.0)
@@ -416,7 +418,7 @@ class TestParallelFaultTolerance:
     def test_persistent_task_kill_falls_back_to_serial(self):
         collection = random_collection(n=15, mean_points=5, seed=149)
         truth = max(oracle_scores(collection, 2.0))
-        engine = ParallelMIOEngine(collection, cores=3, retries=2)
+        engine = ParallelMIOEngine(collection, cores=3, retries=2, mode="simulated")
         spec = FaultSpec("partition_task", match=2)
         with faults.injected(FaultInjector([spec])):
             result = engine.query(2.0)
@@ -430,7 +432,7 @@ class TestParallelFaultTolerance:
 
         collection = random_collection(n=15, mean_points=5, seed=149)
         engine = ParallelMIOEngine(
-            collection, cores=3, retries=0, serial_fallback=False
+            collection, cores=3, retries=0, serial_fallback=False, mode="simulated"
         )
         spec = FaultSpec("partition_task", match=2)
         with faults.injected(FaultInjector([spec])):
@@ -442,7 +444,7 @@ class TestParallelFaultTolerance:
         collection = random_collection(n=15, mean_points=5, seed=150)
 
         def run_once():
-            engine = ParallelMIOEngine(collection, cores=3, retries=1)
+            engine = ParallelMIOEngine(collection, cores=3, retries=1, mode="simulated")
             injector = FaultInjector(
                 [FaultSpec("partition_task", rate=0.3)], seed=99
             )

@@ -11,6 +11,11 @@ job, so a violating import fails fast with the offending file:line):
 * **observability is freestanding** -- ``repro.obs`` imports nothing
   from the query machinery, so it can be reasoned about (and reused)
   independently;
+* **sharding sits below the orchestrators** -- ``repro.shard`` (curves,
+  router, executor, merge) is plumbing that ``repro.parallel`` drives;
+  it must never import the session/service/CLI layers, nor
+  ``repro.parallel`` itself, or the worker processes would drag the
+  whole application stack into every fork;
 * **no private cross-module imports** -- ``from repro.x import _name``
   couples a module to another's internals; everything shared is public
   (this is what forced :func:`~repro.core.verification.bits_of` and
@@ -41,6 +46,12 @@ FOUNDATION = ("repro.core", "repro.grid", "repro.bitset", "repro.kernels")
 
 #: Query machinery the freestanding obs layer must not depend on.
 QUERY_MACHINERY = ("repro.core", "repro.grid", "repro.parallel", "repro.session")
+
+#: Layers the shard plumbing must never reach up into.  ``repro.parallel``
+#: is in the list on purpose: the dependency points the other way (the
+#: parallel engine drives the shard executor), and keeping workers free of
+#: the orchestrators keeps the fork image small.
+SHARD_FORBIDDEN = ORCHESTRATION + ("repro.service",)
 
 
 def _module_name(path: Path) -> str:
@@ -81,7 +92,19 @@ def test_foundation_never_imports_orchestration():
         if not _in_layer(module, FOUNDATION):
             continue
         for lineno, imported, _ in _imports(path):
-            if _in_layer(imported, ORCHESTRATION):
+            if _in_layer(imported, ORCHESTRATION + ("repro.shard",)):
+                violations.append(f"{path}:{lineno}: {module} imports {imported}")
+    assert not violations, "\n".join(violations)
+
+
+def test_shard_never_imports_orchestration():
+    violations = []
+    for path in _all_files():
+        module = _module_name(path)
+        if not _in_layer(module, ("repro.shard",)):
+            continue
+        for lineno, imported, _ in _imports(path):
+            if _in_layer(imported, SHARD_FORBIDDEN):
                 violations.append(f"{path}:{lineno}: {module} imports {imported}")
     assert not violations, "\n".join(violations)
 

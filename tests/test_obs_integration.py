@@ -96,7 +96,9 @@ class TestTraceIsThePhaseBreakdown:
 
     def test_parallel_phases_match_the_trace_makespans(self, collection, fresh_registry):
         tracer = Tracer()
-        result = ParallelMIOEngine(collection, cores=4, tracer=tracer).query(R)
+        result = ParallelMIOEngine(
+            collection, cores=4, tracer=tracer, mode="simulated"
+        ).query(R)
         assert result.phases == phase_durations(tracer.root)
         assert sum(result.phases.values()) == pytest.approx(
             result.total_time, rel=0.01
@@ -153,7 +155,7 @@ class TestTraceIsThePhaseBreakdown:
 class TestMemoryReporting:
     def test_serial_reports_index_memory_like_its_peers(self, collection):
         serial = MIOEngine(collection).query(R)
-        parallel = ParallelMIOEngine(collection, cores=2).query(R)
+        parallel = ParallelMIOEngine(collection, cores=2, mode="simulated").query(R)
         baseline = run_algorithm("sg", collection, R)
         assert serial.memory_bytes > 0
         assert parallel.memory_bytes > 0
@@ -165,7 +167,7 @@ class TestMemoryReporting:
 class TestRegistryFeeds:
     def test_engines_feed_queries_and_phase_histograms(self, collection, fresh_registry):
         MIOEngine(collection).query(R)
-        ParallelMIOEngine(collection, cores=2).query(R)
+        ParallelMIOEngine(collection, cores=2, mode="simulated").query(R)
         queries = fresh_registry.get("repro_queries_total")
         assert queries.value(engine="serial", algorithm="bigrid") == 1
         assert queries.value(engine="parallel", algorithm="bigrid-parallel") == 1
@@ -218,7 +220,9 @@ class TestRegistryFeeds:
         from repro.faults import FaultInjector, FaultSpec, injected
 
         tracer = Tracer()
-        engine = ParallelMIOEngine(collection, cores=2, retries=0, tracer=tracer)
+        engine = ParallelMIOEngine(
+            collection, cores=2, retries=0, tracer=tracer, mode="simulated"
+        )
         with injected(FaultInjector([FaultSpec("partition_task")])):
             result = engine.query(R)
         assert result.counters.get("serial_fallback") == 1

@@ -52,13 +52,17 @@ class TestLabels:
     def test_consumes_labels_from_serial_run(self, collection, truth):
         store = LabelStore()
         MIOEngine(collection, label_store=store).query(2.0)  # labeling run
-        engine = ParallelMIOEngine(collection, cores=4, label_store=store)
+        engine = ParallelMIOEngine(
+            collection, cores=4, label_store=store, mode="simulated"
+        )
         result = engine.query(2.0)
         assert result.algorithm == "bigrid-label-parallel"
         assert result.score == max(truth)
 
     def test_label_free_when_store_empty(self, collection):
-        engine = ParallelMIOEngine(collection, cores=2, label_store=LabelStore())
+        engine = ParallelMIOEngine(
+            collection, cores=2, label_store=LabelStore(), mode="simulated"
+        )
         assert engine.query(2.0).algorithm == "bigrid-parallel"
 
     @pytest.mark.parametrize("lb", ["greedy-d", "hash-p"])
@@ -67,14 +71,15 @@ class TestLabels:
         store = LabelStore()
         MIOEngine(collection, label_store=store).query(2.0)
         engine = ParallelMIOEngine(
-            collection, cores=3, lb_strategy=lb, ub_strategy=ub, label_store=store
+            collection, cores=3, lb_strategy=lb, ub_strategy=ub,
+            label_store=store, mode="simulated",
         )
         assert engine.query(2.0).score == max(truth)
 
 
 class TestReporting:
     def test_phases_and_extras(self, collection):
-        result = ParallelMIOEngine(collection, cores=4).query(2.0)
+        result = ParallelMIOEngine(collection, cores=4, mode="simulated").query(2.0)
         for phase in ("grid_mapping", "lower_bounding", "upper_bounding", "verification"):
             assert phase in result.phases
             assert f"serial:{phase}" in result.extra
@@ -83,7 +88,7 @@ class TestReporting:
         assert result.counters["cores"] == 4
 
     def test_single_core_makespan_equals_serial(self, collection):
-        result = ParallelMIOEngine(collection, cores=1).query(2.0)
+        result = ParallelMIOEngine(collection, cores=1, mode="simulated").query(2.0)
         for phase in ("lower_bounding", "upper_bounding"):
             assert result.phases[phase] == pytest.approx(
                 result.extra[f"serial:{phase}"], rel=0.05, abs=1e-5
@@ -148,7 +153,9 @@ class TestParallelTopK:
         store = LabelStore()
         MIOEngine(collection, label_store=store).query(2.0)
         truth = sorted(oracle_scores(collection, 2.0), reverse=True)[:4]
-        engine = ParallelMIOEngine(collection, cores=4, label_store=store)
+        engine = ParallelMIOEngine(
+            collection, cores=4, label_store=store, mode="simulated"
+        )
         result = engine.query_topk(2.0, 4)
         assert result.algorithm == "bigrid-label-parallel"
         assert [score for _, score in result.topk] == truth

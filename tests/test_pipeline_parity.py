@@ -70,10 +70,28 @@ class TestGoldenAnswers:
     @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("r", sorted(GOLDEN))
     def test_parallel_matches_prerefactor(self, golden_collection, backend, r):
-        engine = ParallelMIOEngine(golden_collection, cores=4, backend=backend)
+        engine = ParallelMIOEngine(
+            golden_collection, cores=4, backend=backend, mode="simulated"
+        )
         result = engine.query(r)
         assert (result.winner, result.score) == GOLDEN[r]["winner"]
         assert result.algorithm == "bigrid-parallel"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("r", sorted(GOLDEN))
+    def test_sharded_matches_prerefactor(
+        self, golden_collection, backend, r, monkeypatch
+    ):
+        # Real shard-parallel execution hits the same golden answers --
+        # including the top-k order and its tie-breaks.
+        monkeypatch.setenv("REPRO_SHARD_INLINE", "1")
+        engine = ParallelMIOEngine(
+            golden_collection, cores=2, backend=backend, shards=3
+        )
+        result = engine.query(r)
+        assert (result.winner, result.score) == GOLDEN[r]["winner"]
+        assert result.algorithm == "bigrid-sharded"
+        assert engine.query_topk(r, k=3).topk == GOLDEN[r]["topk"]
 
 
 # ----------------------------------------------------------------------
@@ -125,8 +143,12 @@ class TestTracedEqualsUntraced:
 
     def test_parallel(self, golden_collection):
         tracer = Tracer()
-        plain = ParallelMIOEngine(golden_collection, cores=4).query(2.0)
-        traced = ParallelMIOEngine(golden_collection, cores=4, tracer=tracer).query(2.0)
+        plain = ParallelMIOEngine(
+            golden_collection, cores=4, mode="simulated"
+        ).query(2.0)
+        traced = ParallelMIOEngine(
+            golden_collection, cores=4, tracer=tracer, mode="simulated"
+        ).query(2.0)
         assert (traced.winner, traced.score) == (plain.winner, plain.score)
         root = tracer.root
         # makespan_root: the trace tree sums like the simulated total.
@@ -169,7 +191,9 @@ class TestFaultsThroughPipeline:
         assert info.value.point == point
 
     def test_parallel_task_fault_falls_back_to_serial(self, golden_collection):
-        engine = ParallelMIOEngine(golden_collection, cores=4, retries=0)
+        engine = ParallelMIOEngine(
+            golden_collection, cores=4, retries=0, mode="simulated"
+        )
         with faults.injected(FaultInjector([FaultSpec("partition_task")])):
             result = engine.query(2.0)
         assert result.counters.get("serial_fallback") == 1
@@ -179,7 +203,8 @@ class TestFaultsThroughPipeline:
 
     def test_parallel_fallback_disabled_raises(self, golden_collection):
         engine = ParallelMIOEngine(
-            golden_collection, cores=4, retries=0, serial_fallback=False
+            golden_collection, cores=4, retries=0, serial_fallback=False,
+            mode="simulated",
         )
         with faults.injected(FaultInjector([FaultSpec("partition_task")])):
             with pytest.raises(Exception):

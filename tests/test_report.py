@@ -26,6 +26,23 @@ from repro.obs.telemetry.report import (
 RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
 ARTIFACTS = sorted(str(p) for p in RESULTS.glob("BENCH_*.json"))
 
+#: A minimal valid provenance stamp for synthetic artifacts.
+PROVENANCE = {"cpu_count": 4, "cores": 1, "parallel_mode": "serial", "shards": 0}
+
+
+def shard_scaling_artifact(**overrides):
+    base = {
+        "bench": "shard_scaling",
+        "speedup": 2.6,
+        "floor": 2.0,
+        "identical_answers": True,
+        "provenance": {
+            "cpu_count": 8, "cores": 4, "parallel_mode": "sharded", "shards": 4,
+        },
+    }
+    base.update(overrides)
+    return base
+
 
 def profile_line(
     engine="serial", seconds=0.002, exact=True, sampled=False,
@@ -146,8 +163,15 @@ class TestSummarize:
 
 class TestBenchFloors:
     def test_committed_artifacts_pass_their_floors(self):
-        assert len(ARTIFACTS) == 3, "expected the three committed BENCH artifacts"
+        assert len(ARTIFACTS) == 4, "expected the four committed BENCH artifacts"
         assert check_bench_artifacts(ARTIFACTS) == []
+
+    def test_committed_artifacts_all_carry_provenance(self):
+        for path in ARTIFACTS:
+            data = json.loads(Path(path).read_text())
+            prov = data["provenance"]
+            assert set(prov) >= {"cpu_count", "cores", "parallel_mode", "shards"}
+            assert prov["cpu_count"] >= 1
 
     def test_tampered_kernel_phase_speedup_is_flagged(self, tmp_path):
         data = json.loads((RESULTS / "BENCH_kernel_speedup.json").read_text())
@@ -169,15 +193,31 @@ class TestBenchFloors:
 
     def test_tampered_batch_reuse_is_flagged(self, tmp_path):
         tampered = tmp_path / "b.json"
-        tampered.write_text(json.dumps({"bench": "batch_reuse", "speedup": 0.9}))
+        tampered.write_text(json.dumps(
+            {"bench": "batch_reuse", "speedup": 0.9, "provenance": PROVENANCE}
+        ))
         failures = check_bench_artifact(str(tampered))
         assert failures and "batch_reuse" in failures[0]
+
+    def test_missing_provenance_is_flagged(self, tmp_path):
+        bare = tmp_path / "b.json"
+        bare.write_text(json.dumps({"bench": "batch_reuse", "speedup": 9.0}))
+        failures = check_bench_artifact(str(bare))
+        assert any("provenance" in f for f in failures)
+        partial = tmp_path / "p.json"
+        partial.write_text(json.dumps({
+            "bench": "batch_reuse", "speedup": 9.0,
+            "provenance": {"cpu_count": 4},
+        }))
+        failures = check_bench_artifact(str(partial))
+        assert any("provenance missing cores" in f for f in failures)
 
     def test_service_p99_and_errors_floors(self, tmp_path):
         base = {
             "deadline_ms": 2000.0,
             "steady": {"p99_ms": 2100.0, "errors": 0},
             "overload": {"p99_ms": 2900.0, "errors": 0},
+            "provenance": PROVENANCE,
         }
         clean = tmp_path / "s.json"
         clean.write_text(json.dumps(base))
@@ -193,9 +233,39 @@ class TestBenchFloors:
         # speedup 1.0 fails the 1.2x batch floor at margin 1.0 but passes
         # at the default 0.8 (1.2 * 0.8 = 0.96 <= 1.0).
         artifact = tmp_path / "b.json"
-        artifact.write_text(json.dumps({"bench": "batch_reuse", "speedup": 1.0}))
+        artifact.write_text(json.dumps(
+            {"bench": "batch_reuse", "speedup": 1.0, "provenance": PROVENANCE}
+        ))
         assert check_bench_artifact(str(artifact), margin=0.8) == []
         assert check_bench_artifact(str(artifact), margin=1.0) != []
+
+    def test_shard_scaling_floor_and_parity(self, tmp_path):
+        clean = tmp_path / "s.json"
+        clean.write_text(json.dumps(shard_scaling_artifact()))
+        assert check_bench_artifact(str(clean)) == []
+        # Diverged answers are flagged regardless of speed.
+        bad = tmp_path / "diverged.json"
+        bad.write_text(json.dumps(shard_scaling_artifact(identical_answers=False)))
+        assert any("diverged" in f for f in check_bench_artifact(str(bad)))
+        # A slow run on capable hardware trips the floor...
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(shard_scaling_artifact(speedup=1.1)))
+        assert any("below" in f for f in check_bench_artifact(str(slow)))
+        # ...but the same ratio on a one-core recorder is honestly waived.
+        narrow = tmp_path / "narrow.json"
+        narrow.write_text(json.dumps(shard_scaling_artifact(
+            speedup=0.9,
+            provenance={"cpu_count": 1, "cores": 1,
+                        "parallel_mode": "sharded", "shards": 1},
+        )))
+        assert check_bench_artifact(str(narrow)) == []
+        # A sharded artifact recorded in the wrong mode is suspect.
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps(shard_scaling_artifact(
+            provenance={"cpu_count": 8, "cores": 4,
+                        "parallel_mode": "simulated", "shards": 4},
+        )))
+        assert any("parallel_mode" in f for f in check_bench_artifact(str(wrong)))
 
     def test_unrecognized_schema_and_unreadable_file_are_failures(self, tmp_path):
         odd = tmp_path / "odd.json"

@@ -166,7 +166,9 @@ class TestBatchPlanning:
 
     def test_parallel_session_matches_serial(self, clustered_collection):
         serial = QuerySession(clustered_collection)
-        parallel = QuerySession(clustered_collection, cores=4)
+        parallel = QuerySession(
+            clustered_collection, cores=4, parallel_mode="simulated"
+        )
         rs = [4.9, 4.1, 4.3]
         got_serial = serial.query_many(rs)
         got_parallel = parallel.query_many(rs)
@@ -175,6 +177,29 @@ class TestBatchPlanning:
         # The labeling run stays serial; the rest fan out.
         assert parallel.stats()["parallel_queries"] == 2
         assert got_parallel[1].algorithm == "bigrid-label-parallel"
+
+    def test_sharded_session_matches_serial(self, clustered_collection, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_INLINE", "1")
+        serial = QuerySession(clustered_collection)
+        sharded = QuerySession(clustered_collection, cores=2, shards=2)
+        try:
+            rs = [4.9, 4.1, 4.3]
+            got_serial = serial.query_many(rs)
+            got_sharded = sharded.query_many(rs)
+            for a, b in zip(got_serial, got_sharded):
+                assert (a.winner, a.score) == (b.winner, b.score)
+            # Same routing rule as simulated mode: the labeling run stays
+            # serial, later same-ceiling queries fan out -- now as real
+            # shard tasks.
+            assert sharded.stats()["parallel_queries"] == 2
+            assert got_sharded[1].algorithm == "bigrid-sharded"
+            assert got_sharded[1].counters["shards"] == 2
+            # The shard-plan cache is session-visible and reused across
+            # the same-ceiling sweep.
+            stats = sharded.stats()
+            assert stats["shard_plan_hits"] >= 1
+        finally:
+            sharded.close()
 
 
 class TestEdgeCaseDifferentials:

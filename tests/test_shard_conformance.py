@@ -1,0 +1,357 @@
+"""Sharded execution conformance: bit-exact parity with the serial engine.
+
+PR 9's contract is that ``mode="sharded"`` is purely an execution
+strategy: for every collection, backend, kernel, dimension, and shard
+count, the sharded engine returns *bit-identical* answers to the serial
+engine -- same winner, same score, same top-k order (including
+tie-breaks).  This suite pins that contract plus the failure half:
+
+* parity across the full configuration matrix on the deterministic
+  inline path, and again through a real 2-worker process pool;
+* routing invariants -- ownership is a partition, halos are exactly the
+  Lemma-2 dilation (checked against brute force), plans are cached;
+* worker-level semantics -- ``run_shard_task`` + ``merge_outcomes``
+  replays the serial answer, and a missing settled score degrades to a
+  timed-out (anytime) merge rather than a wrong exact answer;
+* failure semantics -- ``shard_task`` faults retry then fall back to
+  the serial engine (answers unchanged), expired deadlines raise
+  :class:`~repro.errors.QueryTimeout`, and a killed worker process is
+  respawned without failing the query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import oracle_scores, random_collection
+
+from repro import faults
+from repro.core.engine import MIOEngine
+from repro.errors import PartitionTaskError, QueryTimeout
+from repro.faults import FaultInjector, FaultSpec
+from repro.kernels import numpy_kernel_available
+from repro.obs.trace import Tracer
+from repro.parallel.engine import ParallelMIOEngine
+from repro.resilience import Deadline, ManualClock
+from repro.shard.executor import ShardExecutor, run_shard_task
+from repro.shard.merge import merge_outcomes
+from repro.shard.router import ShardPlanCache, plan_shards
+
+BACKENDS = ("ewah", "plain", "roaring")
+KERNELS = ("python",) + (("numpy",) if numpy_kernel_available() else ())
+
+
+@pytest.fixture(autouse=True)
+def inline_executor(request, monkeypatch):
+    """Force the deterministic inline path except where a test opts out.
+
+    Tests marked ``process_pool`` exercise the real fork workers; the
+    rest of the matrix runs inline so the suite stays fast on one core.
+    """
+    if "process_pool" not in request.keywords:
+        monkeypatch.setenv("REPRO_SHARD_INLINE", "1")
+    else:
+        monkeypatch.delenv("REPRO_SHARD_INLINE", raising=False)
+
+
+@pytest.fixture(scope="module")
+def flat_collection():
+    return random_collection(n=40, mean_points=8, seed=4242)
+
+
+@pytest.fixture(scope="module")
+def cube_collection():
+    return random_collection(n=30, mean_points=6, dimension=3, seed=77)
+
+
+def assert_parity(serial_result, sharded_result):
+    assert (sharded_result.winner, sharded_result.score) == (
+        serial_result.winner, serial_result.score,
+    )
+    assert sharded_result.topk == serial_result.topk
+    assert sharded_result.exact
+
+
+# ----------------------------------------------------------------------
+# Parity matrix (inline path)
+# ----------------------------------------------------------------------
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("shards", (1, 2, 5))
+    def test_flat_matrix(self, flat_collection, backend, kernel, shards):
+        serial = MIOEngine(flat_collection, backend=backend, kernel=kernel)
+        engine = ParallelMIOEngine(
+            flat_collection, cores=2, backend=backend, kernel=kernel,
+            shards=shards,
+        )
+        for r in (2.0, 3.5, 5.0):
+            assert_parity(
+                serial.query_topk(r, k=4), engine.query_topk(r, k=4)
+            )
+        result = engine.query(3.5)
+        assert result.algorithm == "bigrid-sharded"
+        assert result.counters["shards"] == min(shards, len(flat_collection))
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_three_dimensional(self, cube_collection, kernel, shards):
+        serial = MIOEngine(cube_collection, kernel=kernel)
+        engine = ParallelMIOEngine(
+            cube_collection, cores=2, kernel=kernel, shards=shards
+        )
+        for r in (1.5, 4.0):
+            assert_parity(
+                serial.query_topk(r, k=3), engine.query_topk(r, k=3)
+            )
+
+    @pytest.mark.parametrize("curve", ("hilbert", "zorder"))
+    def test_curve_choice_never_changes_answers(self, flat_collection, curve):
+        serial = MIOEngine(flat_collection)
+        engine = ParallelMIOEngine(
+            flat_collection, cores=2, shards=3, curve=curve
+        )
+        assert_parity(serial.query_topk(4.0, k=5), engine.query_topk(4.0, k=5))
+
+    @pytest.mark.parametrize("seed", (901, 902, 903))
+    def test_oracle_differential(self, seed):
+        collection = random_collection(n=25, mean_points=6, seed=seed)
+        tau = oracle_scores(collection, 3.0)
+        result = ParallelMIOEngine(collection, cores=2, shards=3).query(3.0)
+        assert result.score == max(tau)
+        assert tau[result.winner] == max(tau)
+
+    def test_tracing_is_answer_neutral_and_phases_derive(self, flat_collection):
+        tracer = Tracer()
+        plain = ParallelMIOEngine(flat_collection, cores=2, shards=2).query(2.0)
+        traced = ParallelMIOEngine(
+            flat_collection, cores=2, shards=2, tracer=tracer
+        ).query(2.0)
+        assert (traced.winner, traced.score) == (plain.winner, plain.score)
+        names = [child.name for child in tracer.root.children]
+        assert names == ["shard_route", "shard_execute", "shard_merge"]
+        execute = tracer.root.children[1]
+        assert [child.name for child in execute.children] == [
+            "shard-0", "shard-1",
+        ]
+        assert set(traced.phases) == {"shard_route", "shard_execute", "shard_merge"}
+
+
+# ----------------------------------------------------------------------
+# Routing invariants
+# ----------------------------------------------------------------------
+
+
+class TestShardPlans:
+    @pytest.mark.parametrize("shards", (1, 3, 7))
+    def test_ownership_is_a_partition(self, flat_collection, shards):
+        plan = plan_shards(flat_collection, 3.5, shards)
+        owned = np.concatenate(plan.owned)
+        assert sorted(owned.tolist()) == list(range(len(flat_collection)))
+        for shard in range(plan.shards):
+            assert np.all(np.diff(plan.owned[shard]) > 0)
+            assert np.all(np.diff(plan.halo[shard]) > 0)
+            assert not set(plan.owned[shard]) & set(plan.halo[shard])
+
+    def test_halo_is_the_exact_lemma2_dilation(self, flat_collection):
+        # Brute force: a non-owned object belongs to the halo iff one of
+        # its points lands in a large cell adjacent-or-equal (Chebyshev
+        # distance <= 1) to a cell containing an owned object's point.
+        r = 3.5
+        plan = plan_shards(flat_collection, r, 4)
+        width = float(np.ceil(r))
+        cells = [
+            {tuple(key) for key in np.floor(obj.points / width).astype(np.int64).tolist()}
+            for obj in flat_collection
+        ]
+        for shard in range(plan.shards):
+            owned = set(plan.owned[shard].tolist())
+            owned_cells = set().union(*(cells[oid] for oid in owned))
+            expected = {
+                oid
+                for oid in range(len(flat_collection))
+                if oid not in owned
+                and any(
+                    max(abs(a - b) for a, b in zip(cell, target)) <= 1
+                    for cell in cells[oid]
+                    for target in owned_cells
+                )
+            }
+            assert set(plan.halo[shard].tolist()) == expected
+
+    def test_shards_never_exceed_objects(self):
+        tiny = random_collection(n=3, mean_points=4, seed=5)
+        plan = plan_shards(tiny, 2.0, 16)
+        assert plan.shards == 3
+
+    def test_plan_cache_hits_on_same_ceiling(self, flat_collection):
+        cache = ShardPlanCache(max_entries=2)
+        first = cache.get(flat_collection, 3.5, 2, "hilbert")
+        again = cache.get(flat_collection, 3.2, 2, "hilbert")  # same ceil
+        assert again is first
+        assert cache.hits == 1 and cache.misses == 1
+        cache.get(flat_collection, 5.0, 2, "hilbert")
+        cache.get(flat_collection, 3.5, 4, "hilbert")  # different shard count
+        assert cache.misses == 3
+
+
+# ----------------------------------------------------------------------
+# Worker + merge semantics (no engine)
+# ----------------------------------------------------------------------
+
+
+class TestWorkerAndMerge:
+    def test_shard_tasks_plus_merge_replay_the_serial_answer(self, flat_collection):
+        serial = MIOEngine(flat_collection).query_topk(3.5, k=5)
+        plan = plan_shards(flat_collection, 3.5, 3)
+        outcomes = [
+            run_shard_task(
+                flat_collection,
+                shard=shard,
+                owned=[int(oid) for oid in plan.owned[shard]],
+                halo=[int(oid) for oid in plan.halo[shard]],
+                r=3.5,
+                k=5,
+                backend="ewah",
+                kernel="python",
+            )
+            for shard in range(plan.shards)
+        ]
+        merged = merge_outcomes(outcomes, k=5)
+        assert not merged.timed_out
+        assert merged.ranking == serial.topk
+
+    def test_missing_settled_score_degrades_to_timed_out(self, flat_collection):
+        plan = plan_shards(flat_collection, 3.5, 2)
+        outcomes = [
+            run_shard_task(
+                flat_collection,
+                shard=shard,
+                owned=[int(oid) for oid in plan.owned[shard]],
+                halo=[int(oid) for oid in plan.halo[shard]],
+                r=3.5,
+                k=3,
+                backend="ewah",
+                kernel="python",
+            )
+            for shard in range(plan.shards)
+        ]
+        # Simulate shard 1 having run out of deadline mid-verification:
+        # drop its settled scores and flag it.  The merge must surface
+        # the settled prefix as an anytime answer, never invent scores.
+        outcomes[1].settled = outcomes[1].settled[:1]
+        outcomes[1].timed_out = True
+        merged = merge_outcomes(outcomes, k=3)
+        exact = merge_outcomes(
+            [outcomes[0]] + [
+                run_shard_task(
+                    flat_collection,
+                    shard=1,
+                    owned=[int(oid) for oid in plan.owned[1]],
+                    halo=[int(oid) for oid in plan.halo[1]],
+                    r=3.5,
+                    k=3,
+                    backend="ewah",
+                    kernel="python",
+                )
+            ],
+            k=3,
+        )
+        if merged.timed_out:
+            settled_scores = dict(outcomes[0].settled + outcomes[1].settled)
+            for oid, score in merged.ranking:
+                assert settled_scores[oid] == score
+        else:  # the dropped scores were never needed by the replay
+            assert merged.ranking == exact.ranking
+
+
+# ----------------------------------------------------------------------
+# Failure semantics
+# ----------------------------------------------------------------------
+
+
+class TestShardFaults:
+    def test_fault_falls_back_to_serial_with_identical_answer(self, flat_collection):
+        expected = MIOEngine(flat_collection).query(2.0)
+        engine = ParallelMIOEngine(flat_collection, cores=2, retries=0)
+        with faults.injected(FaultInjector([FaultSpec("shard_task")])):
+            result = engine.query(2.0)
+        assert result.counters.get("serial_fallback") == 1
+        assert "serial_fallback" in result.notes
+        assert (result.winner, result.score) == (expected.winner, expected.score)
+        assert result.exact
+
+    def test_retry_budget_absorbs_a_transient_fault(self, flat_collection):
+        engine = ParallelMIOEngine(flat_collection, cores=2, shards=2, retries=2)
+        spec = FaultSpec("shard_task", max_triggers=1)
+        with faults.injected(FaultInjector([spec])) as injector:
+            result = engine.query(2.0)
+        assert injector.fired["shard_task"] == 1
+        assert result.algorithm == "bigrid-sharded"  # no fallback needed
+        assert "serial_fallback" not in result.notes
+
+    def test_fallback_disabled_raises_partition_task_error(self, flat_collection):
+        engine = ParallelMIOEngine(
+            flat_collection, cores=2, retries=0, serial_fallback=False
+        )
+        with faults.injected(FaultInjector([FaultSpec("shard_task")])):
+            with pytest.raises(PartitionTaskError) as info:
+                engine.query(2.0)
+        assert info.value.attempts == 1
+
+    def test_expired_deadline_raises_query_timeout(self, flat_collection):
+        engine = ParallelMIOEngine(flat_collection, cores=2, shards=2)
+        deadline = Deadline(1.0, clock=ManualClock(step=1.0))
+        with pytest.raises(QueryTimeout) as info:
+            engine.query(3.5, deadline=deadline)
+        assert info.value.phase
+
+
+# ----------------------------------------------------------------------
+# The real process pool
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.process_pool
+class TestProcessPool:
+    def test_pool_parity_and_reuse(self, flat_collection):
+        serial = MIOEngine(flat_collection)
+        engine = ParallelMIOEngine(flat_collection, cores=2, shards=2)
+        try:
+            assert not engine.shard_executor.inline
+            for r in (2.0, 3.5, 5.0, 3.2):
+                assert_parity(
+                    serial.query_topk(r, k=4), engine.query_topk(r, k=4)
+                )
+            # The pool persists across queries, and the plan cache serves
+            # repeat ceilings (3.5 and 3.2 share ceil(r) = 4).
+            assert engine.plan_cache.hits >= 1
+        finally:
+            engine.close()
+
+    def test_killed_worker_is_respawned(self, flat_collection):
+        engine = ParallelMIOEngine(flat_collection, cores=2, shards=2)
+        try:
+            expected = engine.query(3.5)
+            executor = engine.shard_executor
+            victim = executor._procs[0]
+            victim.kill()
+            victim.join(timeout=10.0)
+            result = engine.query(3.5)
+            assert (result.winner, result.score) == (expected.winner, expected.score)
+            assert executor.respawns >= 1
+        finally:
+            engine.close()
+
+    def test_close_releases_the_pool(self, flat_collection):
+        engine = ParallelMIOEngine(flat_collection, cores=2)
+        engine.query(2.0)
+        procs = list(engine.shard_executor._procs)
+        engine.close()
+        assert all(not proc.is_alive() for proc in procs)
+        # The engine lazily rebuilds a pool if queried again.
+        result = engine.query(2.0)
+        assert result.algorithm == "bigrid-sharded"
+        engine.close()

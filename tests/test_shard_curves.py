@@ -1,0 +1,201 @@
+"""Property tests for the shard router's space-filling-curve codes.
+
+The router's correctness never depends on these properties (the replay
+merge is exact under *any* object partition), but its efficiency does:
+locality keeps halos small.  This suite pins the algebra:
+
+* encode/decode round-trip exactly, on both curves and both paths;
+* the big-int fallback is bit-identical to the vectorized path wherever
+  both are representable (the overflow policy changes representation,
+  never values);
+* Hilbert is a bijection whose consecutive codes are always grid
+  neighbours (L1 distance exactly 1) -- the locality claim behind the
+  ``curve="hilbert"`` default;
+* :func:`curve_codes` handles negative keys, picks the fallback
+  automatically past 62 interleaved bits, and orders rows identically on
+  either path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidQueryError
+from repro.shard.curves import (
+    CURVES,
+    MAX_VECTOR_BITS,
+    axis_bits,
+    curve_codes,
+    hilbert_decode,
+    hilbert_decode_int,
+    hilbert_encode,
+    hilbert_encode_int,
+    zorder_decode,
+    zorder_decode_int,
+    zorder_encode,
+    zorder_encode_int,
+)
+
+ENCODERS = {
+    "hilbert": (hilbert_encode, hilbert_decode, hilbert_encode_int, hilbert_decode_int),
+    "zorder": (zorder_encode, zorder_decode, zorder_encode_int, zorder_decode_int),
+}
+
+
+@st.composite
+def coordinate_batches(draw, max_dimension=4, max_bits=8):
+    """A ``(coords, bits)`` pair that fits the vectorized 62-bit budget."""
+    dimension = draw(st.integers(min_value=1, max_value=max_dimension))
+    bits = draw(
+        st.integers(min_value=1, max_value=min(max_bits, MAX_VECTOR_BITS // dimension))
+    )
+    n = draw(st.integers(min_value=1, max_value=12))
+    cell = st.integers(min_value=0, max_value=(1 << bits) - 1)
+    rows = draw(
+        st.lists(
+            st.lists(cell, min_size=dimension, max_size=dimension),
+            min_size=n, max_size=n,
+        )
+    )
+    return np.asarray(rows, dtype=np.int64), bits
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("curve", CURVES)
+    @settings(max_examples=60, deadline=None)
+    @given(batch=coordinate_batches())
+    def test_vectorized_decode_inverts_encode(self, curve, batch):
+        coords, bits = batch
+        encode, decode, _, _ = ENCODERS[curve]
+        codes = encode(coords, bits)
+        assert np.array_equal(decode(codes, coords.shape[1], bits), coords)
+
+    @pytest.mark.parametrize("curve", CURVES)
+    @settings(max_examples=60, deadline=None)
+    @given(batch=coordinate_batches())
+    def test_bigint_decode_inverts_encode(self, curve, batch):
+        coords, bits = batch
+        _, _, encode_int, decode_int = ENCODERS[curve]
+        for row in coords.tolist():
+            assert decode_int(encode_int(row, bits), len(row), bits) == row
+
+    @pytest.mark.parametrize("curve", CURVES)
+    @settings(max_examples=60, deadline=None)
+    @given(batch=coordinate_batches())
+    def test_bigint_path_matches_vectorized_path(self, curve, batch):
+        # The overflow fallback must change representation, never values.
+        coords, bits = batch
+        encode, _, encode_int, _ = ENCODERS[curve]
+        vectorized = encode(coords, bits).tolist()
+        fallback = [encode_int(row, bits) for row in coords.tolist()]
+        assert vectorized == fallback
+
+
+class TestHilbertStructure:
+    @pytest.mark.parametrize(
+        "dimension,bits", [(1, 4), (2, 1), (2, 3), (3, 2), (4, 2)]
+    )
+    def test_bijection_over_the_full_cube(self, dimension, bits):
+        total = 1 << (dimension * bits)
+        codes = np.arange(total, dtype=np.int64)
+        coords = hilbert_decode(codes, dimension, bits)
+        # Every cell is visited exactly once...
+        assert len({tuple(row) for row in coords.tolist()}) == total
+        assert int(coords.min()) == 0 and int(coords.max()) == (1 << bits) - 1
+        # ...and encoding the walk recovers the indices.
+        assert np.array_equal(hilbert_encode(coords, bits), codes)
+
+    @pytest.mark.parametrize(
+        "dimension,bits", [(2, 3), (2, 4), (3, 2), (4, 2)]
+    )
+    def test_consecutive_codes_are_grid_adjacent(self, dimension, bits):
+        # The locality property the router default relies on: each curve
+        # step moves to an L1-adjacent cell.  (Z-order deliberately lacks
+        # this -- its seams are why hilbert is the default.)
+        total = 1 << (dimension * bits)
+        coords = hilbert_decode(np.arange(total, dtype=np.int64), dimension, bits)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_zorder_has_seams_hilbert_avoids(self):
+        coords = zorder_decode(np.arange(64, dtype=np.int64), 2, 3)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert int(steps.max()) > 1
+
+
+class TestCurveCodes:
+    @pytest.mark.parametrize("curve", CURVES)
+    def test_negative_keys_are_shifted_not_rejected(self, curve):
+        keys = np.array([[-5, -7], [-5, -6], [3, 0], [-4, -7]], dtype=np.int64)
+        result = curve_codes(keys, curve)
+        assert not result.overflowed
+        assert result.bits == axis_bits([9, 8])
+        # Shifting preserves relative geometry: equal rows, equal codes.
+        again = curve_codes(keys + 100, curve)
+        assert np.array_equal(result.argsort(), again.argsort())
+
+    def test_zorder_overflow_fallback_orders_like_the_vector_path(self):
+        rng = np.random.default_rng(7)
+        base = rng.integers(0, 1 << 8, size=(40, 2), dtype=np.int64)
+        narrow = curve_codes(base, "zorder")
+        assert not narrow.overflowed
+        # Scale one row's spread past the 62-bit interleave budget: the
+        # fallback engages, but z-order is prefix-stable (leading zero
+        # bits never reorder), so the untouched low cells keep exactly
+        # the vectorized order.
+        wide = np.vstack([base, [[1 << 40, 1 << 40]]]).astype(np.int64)
+        fallback = curve_codes(wide, "zorder")
+        assert fallback.overflowed
+        assert fallback.bits * 2 > MAX_VECTOR_BITS
+        order = [index for index in fallback.argsort().tolist() if index < len(base)]
+        assert order == narrow.argsort().tolist()
+        # The outlier owns the largest code.
+        assert int(fallback.argsort()[-1]) == len(base)
+
+    def test_hilbert_overflow_fallback_matches_the_bigint_encoder(self):
+        # Hilbert is deliberately NOT prefix-stable (deeper curves visit
+        # the low subcube in a rotated orientation), so the fallback
+        # contract is agreement with the big-int encoder at the chosen
+        # depth -- the same algebra the vectorized path runs in-budget
+        # (TestRoundTrip pins that equivalence).
+        rng = np.random.default_rng(11)
+        wide = np.vstack([
+            rng.integers(0, 1 << 8, size=(20, 2), dtype=np.int64),
+            [[1 << 40, 3], [5, 1 << 40]],
+        ]).astype(np.int64)
+        fallback = curve_codes(wide, "hilbert")
+        assert fallback.overflowed
+        shifted = (wide - fallback.mins).tolist()
+        assert fallback.codes == [
+            hilbert_encode_int(row, fallback.bits) for row in shifted
+        ]
+
+    def test_dtype_overflow_boundary_is_exact(self):
+        # 2 axes x 31 bits = 62 interleaved bits: the last vectorized
+        # configuration.  One more bit per axis must fall back.
+        top = (1 << 31) - 1
+        keys = np.array([[0, 0], [top, top]], dtype=np.int64)
+        at_budget = curve_codes(keys, "zorder")
+        assert not at_budget.overflowed and at_budget.bits == 31
+        over = np.array([[0, 0], [1 << 31, 1 << 31]], dtype=np.int64)
+        past_budget = curve_codes(over, "zorder")
+        assert past_budget.overflowed and past_budget.bits == 32
+
+    def test_stable_argsort_breaks_ties_by_row(self):
+        keys = np.array([[2, 2], [1, 1], [2, 2], [1, 1]], dtype=np.int64)
+        order = curve_codes(keys, "hilbert").argsort().tolist()
+        assert order.index(1) < order.index(3)  # equal codes keep row order
+        assert order.index(0) < order.index(2)
+
+    def test_invalid_inputs_are_invalid_queries(self):
+        with pytest.raises(InvalidQueryError):
+            curve_codes(np.zeros((0, 2), dtype=np.int64))
+        with pytest.raises(InvalidQueryError):
+            curve_codes(np.zeros(4, dtype=np.int64))
+        with pytest.raises(InvalidQueryError):
+            curve_codes(np.zeros((2, 2), dtype=np.int64), curve="peano")
+        with pytest.raises(InvalidQueryError):
+            zorder_encode(np.array([[-1, 0]], dtype=np.int64), 4)
+        with pytest.raises(InvalidQueryError):
+            hilbert_encode(np.zeros((1, 2), dtype=np.int64), 32)

@@ -188,7 +188,7 @@ class TestBuildProfile:
         assert set(profile) == {
             "trace_id", "ts", "engine", "algorithm", "r", "k", "ceil_r", "n",
             "seconds", "exact", "sampled", "phases", "counters", "notes",
-            "memory_bytes",
+            "memory_bytes", "shards",
         }
         assert profile["notes"]["verification_path"] == "numpy-fused"
         json.dumps(profile)
