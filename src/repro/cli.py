@@ -20,7 +20,10 @@ answer, ``query``/``batch --metrics-out PATH`` dump the metrics registry
 with ``batch_id``/``query_id`` correlation ids.  Telemetry flags
 (``--telemetry-out``, ``--sample-rate``, ``--slow-ms`` on ``query``,
 ``batch``, and ``serve``; ``batch --slowlog-out``) feed the always-on
-telemetry hub -- see ``docs/observability.md``.
+telemetry hub -- see ``docs/observability.md``.  ``--planner adaptive``
+(on ``query``, ``batch``, ``explain``, ``serve``) lets the cost-model
+planner re-select kernel/mode/shards per query; ``explain`` then prints
+the decision with predicted-vs-actual phase costs (``docs/planner.md``).
 
 Example session::
 
@@ -52,7 +55,12 @@ from repro.bench.reporting import format_table
 from repro.core.engine import MIOEngine
 from repro.core.temporal import TemporalMIOEngine
 from repro.obs import logging as obs_logging
-from repro.obs.explain import funnel_stages, render_funnel, render_span_tree
+from repro.obs.explain import (
+    funnel_stages,
+    render_funnel,
+    render_plan,
+    render_span_tree,
+)
 from repro.obs.export import metrics_json, prometheus_text, trace_json
 from repro.obs.metrics import get_registry
 from repro.obs.telemetry import ProfileSink, get_telemetry
@@ -119,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default) or the legacy makespan simulation")
     query.add_argument("--shards", type=int, default=None,
                        help="shards per sharded query (default: one per core)")
+    _add_planner_flag(query)
     query.add_argument("--trace", action="store_true",
                        help="print the query's span tree under the answer")
     query.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -157,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shards per sharded query (default: one per core)")
     batch.add_argument("--retries", type=int, default=2,
                        help="per-task retry budget (parallel engine)")
+    _add_planner_flag(batch)
     batch.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the batch's span trees as JSON")
     batch.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -188,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel execution for the primary path")
     serve.add_argument("--shards", type=int, default=None,
                        help="shards per sharded query (default: one per core)")
+    _add_planner_flag(serve)
     serve.add_argument("--max-inflight", type=int, default=4,
                        help="requests executing concurrently")
     serve.add_argument("--max-queue", type=int, default=16,
@@ -229,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default) or the legacy makespan simulation")
     explain.add_argument("--shards", type=int, default=None,
                          help="shards per sharded query (default: one per core)")
+    _add_planner_flag(explain)
 
     report = commands.add_parser(
         "report",
@@ -253,6 +265,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "--against (generous: machines differ)")
 
     return parser
+
+
+def _add_planner_flag(command: argparse.ArgumentParser) -> None:
+    """The query-planner knob shared by query/batch/explain/serve."""
+    command.add_argument("--planner", default="static",
+                         choices=("static", "adaptive"),
+                         help="query planner: static keeps the configured "
+                              "knobs, adaptive re-selects kernel/mode/shards "
+                              "per query from the cost model (bit-identical "
+                              "answers; see docs/planner.md)")
 
 
 def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
@@ -356,10 +378,12 @@ def _run_query(args: argparse.Namespace) -> int:
                 collection, cores=args.cores, backend=args.backend,
                 retries=args.retries, tracer=tracer, kernel=args.kernel,
                 mode=args.parallel_mode, shards=args.shards,
+                planner=args.planner,
             )
         else:
             engine = MIOEngine(
-                collection, backend=args.backend, tracer=tracer, kernel=args.kernel
+                collection, backend=args.backend, tracer=tracer,
+                kernel=args.kernel, planner=args.planner,
             )
         try:
             if args.topk > 1:
@@ -400,10 +424,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         engine = ParallelMIOEngine(
             collection, cores=args.cores, backend=args.backend, tracer=tracer,
             kernel=args.kernel, mode=args.parallel_mode, shards=args.shards,
+            planner=args.planner,
         )
     else:
         engine = MIOEngine(
-            collection, backend=args.backend, tracer=tracer, kernel=args.kernel
+            collection, backend=args.backend, tracer=tracer,
+            kernel=args.kernel, planner=args.planner,
         )
     try:
         if args.topk > 1:
@@ -425,6 +451,10 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     for key, note in sorted(result.notes.items()):
         print(f"note      : {key}: {note}")
     print(f"time      : {result.total_time:.4f} s")
+    plan_text = render_plan(result)
+    if plan_text:
+        print("\nplanner decision:")
+        print(plan_text)
     print("\nspan tree:")
     print(render_span_tree(tracer.root, indent="  "))
     print("\npruning funnel:")
@@ -511,7 +541,7 @@ def _run_batch(args: argparse.Namespace) -> int:
     session = QuerySession(
         collection, backend=backend, cores=args.cores, retries=args.retries,
         tracer=tracer, kernel=args.kernel, parallel_mode=args.parallel_mode,
-        shards=args.shards,
+        shards=args.shards, planner=args.planner,
     )
     log_stream = None
     try:
@@ -600,6 +630,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cores=args.cores,
         parallel_mode=args.parallel_mode,
         shards=args.shards,
+        planner=args.planner,
     )
     app = ServiceApp(collection, config, backend=args.backend, kernel=args.kernel)
     if args.telemetry_out:

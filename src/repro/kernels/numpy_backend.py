@@ -596,7 +596,10 @@ class NumpyKernel(KernelBackend):
     # LOWER-BOUNDING (Algorithm 4), packed
     # ------------------------------------------------------------------
 
-    def lower_bounds(self, bigrid, keep_bitsets=False, stats=None, deadline=None):
+    def lower_bounds(
+        self, bigrid, keep_bitsets=False, stats=None, deadline=None,
+        dispatch="auto",
+    ):
         if not isinstance(bigrid, PackedBIGrid):
             return PYTHON_KERNEL.lower_bounds(
                 bigrid, keep_bitsets=keep_bitsets, stats=stats, deadline=deadline
@@ -608,8 +611,17 @@ class NumpyKernel(KernelBackend):
         bitset_cls = bigrid.small_grid.bitset_cls
         one_word = words_matrix.shape[1] == 1
 
+        # Both paths are bit-identical (tests/test_lower_bound.py pins
+        # them); ``dispatch`` only moves the size threshold to 0 or
+        # infinity.  Forcing "seq" on a multi-word grid stays on the
+        # reduceat path -- the sequential gather requires one-word rows.
         if total_rows == 0 or (
-            one_word and total_rows < LOWER_BOUND_DISPATCH_MIN_ROWS
+            one_word
+            and dispatch != "vectorized"
+            and (
+                dispatch == "seq"
+                or total_rows < LOWER_BOUND_DISPATCH_MIN_ROWS
+            )
         ):
             # Tiny grids: fixed numpy dispatch overhead (flatnonzero,
             # cumsum, reduceat) exceeds the work.  Run the reference

@@ -48,7 +48,11 @@ class PythonKernel(KernelBackend):
             large_keys_provider=large_keys_provider,
         )
 
-    def lower_bounds(self, bigrid, keep_bitsets=False, stats=None, deadline=None):
+    def lower_bounds(
+        self, bigrid, keep_bitsets=False, stats=None, deadline=None,
+        dispatch="auto",
+    ):
+        # The reference has a single path; ``dispatch`` is a no-op here.
         return compute_lower_bounds(
             bigrid, keep_bitsets=keep_bitsets, stats=stats, deadline=deadline
         )

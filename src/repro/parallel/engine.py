@@ -44,13 +44,14 @@ from typing import Optional
 from repro.core.engine import MIOEngine
 from repro.core.labels import LabelStore
 from repro.core.objects import ObjectCollection
-from repro.core.pipeline import PhasePipeline, QueryContext
+from repro.core.pipeline import SERIAL_PIPELINE, PhasePipeline, QueryContext
 from repro.core.query import MIOResult
 from repro.errors import InjectedFault, InvalidQueryError, PartitionTaskError
 from repro.grid.cache import LargeKeyCache
-from repro.kernels import resolve_kernel
+from repro.kernels import numpy_kernel_available, resolve_kernel
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import ensure_tracer
+from repro.planner import Plan, capture_statistics, resolve_planner
 from repro.parallel.competitors import (  # noqa: F401  (public re-exports)
     parallel_nested_loop,
     parallel_simple_grid,
@@ -168,6 +169,7 @@ class ParallelMIOEngine:
         mode: str = "sharded",
         shards: Optional[int] = None,
         curve: str = "hilbert",
+        planner=None,
     ) -> None:
         if lb_strategy not in LB_STRATEGIES:
             raise InvalidQueryError(f"lb_strategy must be one of {LB_STRATEGIES}")
@@ -220,6 +222,12 @@ class ParallelMIOEngine:
         self.curve = curve
         #: Routing decisions cached per ``(ceil_r, shards, curve)``.
         self.plan_cache = ShardPlanCache()
+        #: Optional query planner (see :mod:`repro.planner`).  Sharded
+        #: mode only: per query the planner picks mode (a small query
+        #: degenerates to the serial pipeline in-process), shard count,
+        #: and kernel, against this engine's static configuration as the
+        #: baseline.  The simulated schedule study is never re-planned.
+        self.planner = resolve_planner(planner)
         self._shard_executor: Optional[ShardExecutor] = None
 
     # ------------------------------------------------------------------
@@ -293,6 +301,32 @@ class ParallelMIOEngine:
         if r <= 0:
             raise InvalidQueryError("the distance threshold r must be positive")
         tracer = ensure_tracer(tracer if tracer is not None else self.tracer)
+        plan = decision = stats = None
+        if self.planner is not None and self.mode == "sharded":
+            # Engine-level planning: mode and shard count must be known
+            # before a pipeline is even selected, so the decision happens
+            # here and rides into the context pre-pinned (the planning
+            # stage then only applies it).  The baseline is this engine's
+            # static configuration — the planner must predict a real win
+            # to deviate from it.
+            stats = capture_statistics(
+                self.collection,
+                r,
+                k=k,
+                cores=self.cores,
+                sharding_available=True,
+                numpy_available=numpy_kernel_available(),
+                plan_cache_balance=self.plan_cache.observed_balance(),
+            )
+            baseline = Plan(
+                kernel=resolve_kernel(self.kernel).name,
+                mode="sharded",
+                shards=self.shards,
+            )
+            decision = self.planner.decide(stats, baseline)
+            plan = decision.plan
+        run_serial = plan is not None and plan.mode == "serial"
+        sharded = self.mode == "sharded" and not run_serial
         ctx = QueryContext(
             collection=self.collection,
             r=r,
@@ -301,12 +335,32 @@ class ParallelMIOEngine:
             deadline=deadline,
             tracer=tracer,
             backend=self.backend,
+            # The sharded path (and a planner-degenerated serial run of
+            # it) stays label-free: labels encode the canonical serial
+            # access order of the whole collection (module docstring).
             label_store=self.label_store if self.mode == "simulated" else None,
             label_reuse=self.label_reuse,
             key_cache=self.key_cache,
             engine=self,
             kernel=self.kernel,
-            shards=self.shards if self.mode == "sharded" else None,
+            shards=(
+                (plan.shards if plan is not None else self.shards)
+                if sharded
+                else None
+            ),
+            planner=self.planner if self.mode == "sharded" else None,
+            plan=plan,
         )
-        pipeline = SHARDED_PIPELINE if self.mode == "sharded" else PARALLEL_PIPELINE
+        ctx.plan_decision = decision
+        ctx.plan_stats = stats
+        if run_serial:
+            # The planner judged the fan-out overhead not worth it for
+            # this query: run the serial stage set in-process.  Answers
+            # are bit-identical either way (the merge replays the serial
+            # loop); only the wall-clock differs.
+            pipeline = SERIAL_PIPELINE
+        elif self.mode == "sharded":
+            pipeline = SHARDED_PIPELINE
+        else:
+            pipeline = PARALLEL_PIPELINE
         return pipeline.run(ctx)

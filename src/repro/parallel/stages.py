@@ -43,6 +43,7 @@ from repro.bitset.factory import resolve_backend
 from repro.core.labels import PointLabels, labels_match_collection
 from repro.core.pipeline import (
     BackendResolutionStage,
+    PlanningStage,
     QueryContext,
     Stage,
     kth_largest,
@@ -407,6 +408,7 @@ class ShardFinalizeStage(Stage):
             counters=counters,
             memory_bytes=memory,
             notes=ctx.notes,
+            extra=ctx.extra,
         )
 
     @staticmethod
@@ -439,6 +441,7 @@ class ShardFinalizeStage(Stage):
             memory_bytes=memory,
             exact=False,
             notes=notes,
+            extra=ctx.extra,
         )
 
 
@@ -446,6 +449,11 @@ class ShardFinalizeStage(Stage):
 #: :data:`repro.parallel.engine.SHARDED_PIPELINE`.
 SHARDED_STAGES: Tuple[Stage, ...] = (
     BackendResolutionStage(),
+    # The parallel engine pins the plan before the pipeline runs; this
+    # stage applies it (kernel resolution + plan notes + predictions)
+    # before routing, so the per-shard payloads inherit the planned
+    # kernel.  Inert without a planner.
+    PlanningStage(),
     ShardRouteStage(),
     ShardExecuteStage(),
     ShardMergeStage(),

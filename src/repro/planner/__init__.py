@@ -1,0 +1,67 @@
+"""Cost-model-driven adaptive query planning (ROADMAP item 3).
+
+The engine stack has many performance knobs — kernel backend, parallel
+mode, shard count, lower-bound dispatch, grid-key policy — each covered
+by a bit-exact conformance contract, so choosing between them can only
+change *speed*, never *answers*.  This package chooses:
+
+* :mod:`repro.planner.plan` — the :class:`Plan` value (the five knobs);
+* :mod:`repro.planner.stats` — cheap per-query statistics;
+* :mod:`repro.planner.cost` — Eq. (3) extended to whole-plan pricing,
+  with online EWMA calibration from observed phase timings;
+* :mod:`repro.planner.adaptive` — the decision procedure, decision
+  memoization per ``ceil(r)`` group, and the telemetry feedback loops.
+
+Layering: the planner sits *below* the engines — the phase pipeline
+imports it — and therefore imports nothing from the query machinery
+(``tests/test_layering.py`` pins it to ``repro.errors`` only).  See
+``docs/planner.md`` for the statistics → cost model → decision →
+feedback walk-through.
+"""
+
+from repro.planner.adaptive import (
+    PLANNER_NAMES,
+    AdaptivePlanner,
+    Decision,
+    FixedPlanner,
+    Planner,
+    resolve_planner,
+)
+from repro.planner.cost import CostModel, estimate_units
+from repro.planner.plan import (
+    GRID_KEYS_CHOICES,
+    LB_DISPATCH_CHOICES,
+    PLAN_KERNELS,
+    PLAN_MODES,
+    Plan,
+    parse_plan,
+)
+from repro.planner.stats import (
+    CollectionProfile,
+    QueryStatistics,
+    capture_statistics,
+    collection_profile,
+    statistics_from_profile,
+)
+
+__all__ = [
+    "AdaptivePlanner",
+    "CollectionProfile",
+    "CostModel",
+    "Decision",
+    "FixedPlanner",
+    "GRID_KEYS_CHOICES",
+    "LB_DISPATCH_CHOICES",
+    "PLANNER_NAMES",
+    "PLAN_KERNELS",
+    "PLAN_MODES",
+    "Plan",
+    "Planner",
+    "QueryStatistics",
+    "capture_statistics",
+    "collection_profile",
+    "estimate_units",
+    "parse_plan",
+    "resolve_planner",
+    "statistics_from_profile",
+]

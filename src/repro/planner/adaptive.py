@@ -1,0 +1,310 @@
+"""The planners: decision procedure, memoization, and online feedback.
+
+:class:`AdaptivePlanner` is a deterministic function from
+(:class:`~repro.planner.stats.QueryStatistics`, calibration state) to a
+:class:`~repro.planner.plan.Plan`: it enumerates the candidate plans the
+owning engine can execute, prices each with the shared
+:class:`~repro.planner.cost.CostModel`, and takes the cheapest — with a
+deliberate thumb on the scale for the **baseline** (the engine's static
+configuration): a candidate must beat the baseline by more than
+``TIE_MARGIN`` to displace it, so on a cold model with nothing measured
+the planner reproduces today's static behavior exactly
+(``tests/test_planner.py`` pins this).
+
+Decisions are memoized on ``stats.cache_key()`` plus the model version:
+a ``ceil(r)``-grouped batch plans once per group, and any accepted
+feedback observation (which bumps the version) transparently invalidates
+the memo.  Feedback arrives two ways:
+
+* **online** — the phase pipeline calls :meth:`AdaptivePlanner.observe`
+  with every finished query's phases and counters;
+* **offline** — :meth:`AdaptivePlanner.ingest_profiles` replays the
+  telemetry profile stream (PR 8's JSONL schema, the exact dicts
+  ``repro report`` reads), recognizing its own decisions via
+  ``notes["plan"]`` and falling back to the dispatch notes
+  (``lower_bound_path`` / ``verification_path``) to attribute a kernel.
+
+:class:`FixedPlanner` always answers one pinned plan — the parity
+suite's vehicle for forcing arbitrary knob assignments through the
+production wiring.  ``planner="static"`` resolves to ``None``: no
+planner object at all, the engines' historical code path, byte for byte.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import InvalidQueryError
+from repro.planner.cost import CostModel
+from repro.planner.plan import (
+    LB_DISPATCH_CHOICES,
+    Plan,
+    parse_plan,
+)
+from repro.planner.stats import QueryStatistics
+
+#: Names ``resolve_planner`` accepts (CLI / service / session values).
+PLANNER_NAMES = ("static", "adaptive")
+
+#: A candidate must predict more than this fractional improvement over
+#: the baseline to displace it (hysteresis: near-ties keep the static
+#: configuration, so cold-start behavior is exactly today's).
+TIE_MARGIN = 0.1
+
+#: Decision memos retained (decisions are cheap to recompute; the memo
+#: exists so per-group batch planning is O(1) per query).
+DECISION_MEMO_ENTRIES = 64
+
+#: Shard-count ladder considered per decision (filtered to capacity).
+SHARD_LADDER = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One planning outcome: the plan plus its predicted phase costs."""
+
+    plan: Plan
+    #: Predicted seconds per phase (plus ``"total"``) for the chosen plan.
+    predicted: Dict[str, float] = field(default_factory=dict)
+    #: Baseline (static) plan the decision was judged against.
+    baseline: Optional[Plan] = None
+    #: Predicted total for the baseline (for explain's "why").
+    baseline_total: float = 0.0
+    #: Short human-readable justification.
+    reason: str = ""
+
+
+class Planner:
+    """Planner interface: engines call ``decide`` and ``observe``."""
+
+    name = "abstract"
+
+    def decide(self, stats: QueryStatistics, baseline: Plan) -> Decision:
+        raise NotImplementedError
+
+    def observe(
+        self,
+        plan: Plan,
+        phases: Dict[str, float],
+        counters: Dict[str, int],
+    ) -> None:
+        """Fold one finished query back into the model (default: no-op)."""
+
+
+class FixedPlanner(Planner):
+    """Always answers one pinned plan (the parity suite's instrument)."""
+
+    name = "fixed"
+
+    def __init__(self, plan: Plan) -> None:
+        self.plan = plan
+
+    def decide(self, stats: QueryStatistics, baseline: Plan) -> Decision:
+        return Decision(plan=self.plan, baseline=baseline, reason="fixed plan")
+
+
+class AdaptivePlanner(Planner):
+    """Cost-model-driven per-query plan selection with online feedback."""
+
+    name = "adaptive"
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self._lock = threading.Lock()
+        self._memo: Dict[tuple, Decision] = {}
+        #: Planning and feedback tallies (surfaced by session stats).
+        self.decisions = 0
+        self.memo_hits = 0
+        self.observed_queries = 0
+        self.ingested_profiles = 0
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+
+    def candidates(self, stats: QueryStatistics, baseline: Plan) -> List[Plan]:
+        """Every plan the owning engine could execute for this query.
+
+        The enumeration is capability-driven: kernels the process cannot
+        serve, modes the engine cannot run, and cache policies without a
+        cache behind them never appear, so a chosen plan always executes
+        as planned (no silent degradation to re-measure).
+        """
+        kernels = ["python"]
+        if stats.numpy_available:
+            kernels.append("numpy")
+        grid_choices: Tuple[str, ...] = (
+            ("auto", "fresh") if stats.key_cache else ("auto",)
+        )
+        plans = {baseline}
+        for kernel in kernels:
+            lb_choices = LB_DISPATCH_CHOICES if kernel == "numpy" else ("auto",)
+            for lb in lb_choices:
+                for grid in grid_choices:
+                    plans.add(
+                        Plan(
+                            kernel=kernel,
+                            mode="serial",
+                            shards=1,
+                            lb_dispatch=lb,
+                            grid_keys=grid,
+                        )
+                    )
+            if stats.sharding_available and stats.cores > 1:
+                ladder = {s for s in SHARD_LADDER if s <= 2 * stats.cores}
+                ladder.add(stats.cores)
+                for shards in sorted(ladder):
+                    plans.add(Plan(kernel=kernel, mode="sharded", shards=shards))
+        return sorted(
+            plans,
+            key=lambda p: (p.mode, p.kernel, p.shards, p.lb_dispatch, p.grid_keys),
+        )
+
+    def decide(self, stats: QueryStatistics, baseline: Plan) -> Decision:
+        key = stats.cache_key() + (
+            baseline.describe(),
+            self.cost_model.version,
+        )
+        with self._lock:
+            memo = self._memo.get(key)
+            if memo is not None:
+                self.memo_hits += 1
+                return memo
+        decision = self._decide_uncached(stats, baseline)
+        with self._lock:
+            if len(self._memo) >= DECISION_MEMO_ENTRIES:
+                self._memo.pop(next(iter(self._memo)))
+            self._memo[key] = decision
+            self.decisions += 1
+        return decision
+
+    def _decide_uncached(self, stats: QueryStatistics, baseline: Plan) -> Decision:
+        model = self.cost_model
+        baseline_prediction = model.predict(baseline, stats)
+        baseline_total = baseline_prediction["total"]
+        if stats.n <= 0 or stats.total_points <= 0:
+            return Decision(
+                plan=baseline,
+                predicted=baseline_prediction,
+                baseline=baseline,
+                baseline_total=baseline_total,
+                reason="degenerate collection: baseline",
+            )
+        best_plan = baseline
+        best_prediction = baseline_prediction
+        best_total = baseline_total
+        for plan in self.candidates(stats, baseline):
+            if plan == baseline:
+                continue
+            prediction = model.predict(plan, stats)
+            if prediction["total"] < best_total:
+                best_plan, best_prediction = plan, prediction
+                best_total = prediction["total"]
+        if best_plan != baseline and best_total >= baseline_total * (
+            1.0 - TIE_MARGIN
+        ):
+            # Hysteresis: not enough predicted headroom to leave the
+            # engine's static configuration.
+            best_plan, best_prediction = baseline, baseline_prediction
+            best_total = baseline_total
+        if best_plan == baseline:
+            reason = "baseline within margin"
+        else:
+            reason = (
+                f"predicted {best_total * 1e3:.3f}ms vs baseline "
+                f"{baseline_total * 1e3:.3f}ms"
+            )
+        return Decision(
+            plan=best_plan,
+            predicted=best_prediction,
+            baseline=baseline,
+            baseline_total=baseline_total,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        plan: Plan,
+        phases: Dict[str, float],
+        counters: Dict[str, int],
+    ) -> None:
+        """Online feedback from one finished query (the pipeline hook)."""
+        if self.cost_model.observe(plan, dict(phases), dict(counters)):
+            self.observed_queries += 1
+
+    def ingest_profiles(self, profiles: Iterable[dict]) -> int:
+        """Replay telemetry profiles (PR 8 JSONL schema); returns count used.
+
+        Each profile needs ``phases`` + ``counters`` and an attributable
+        kernel: ``notes["plan"]`` when the query was planned, otherwise
+        the dispatch notes every profile carries.  Degraded (inexact)
+        profiles are skipped — their phase times describe truncated work.
+        """
+        used = 0
+        for profile in profiles:
+            if not isinstance(profile, dict) or not profile.get("exact", True):
+                continue
+            phases = profile.get("phases")
+            counters = profile.get("counters")
+            if not isinstance(phases, dict) or not isinstance(counters, dict):
+                continue
+            plan = self._attribute_plan(profile)
+            if plan is None:
+                continue
+            if self.cost_model.observe(plan, phases, counters):
+                used += 1
+        self.ingested_profiles += used
+        return used
+
+    @staticmethod
+    def _attribute_plan(profile: dict) -> Optional[Plan]:
+        notes = profile.get("notes") or {}
+        plan = parse_plan(notes.get("plan", ""))
+        if plan is not None:
+            return plan
+        if int(profile.get("shards", 0) or 0) > 0:
+            return None  # unplanned sharded run: phases are not serial-shaped
+        paths = (
+            str(notes.get("lower_bound_path", "")),
+            str(notes.get("verification_path", "")),
+        )
+        if any(path.startswith("numpy") for path in paths):
+            return Plan(kernel="numpy")
+        if any(paths):
+            return Plan(kernel="python")
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "planner_decisions": self.decisions,
+                "planner_memo_hits": self.memo_hits,
+                "planner_observed_queries": self.observed_queries,
+                "planner_ingested_profiles": self.ingested_profiles,
+                "planner_model_version": self.cost_model.version,
+            }
+
+
+def resolve_planner(planner) -> Optional[Planner]:
+    """Coerce a planner argument (name / instance / None) to a planner.
+
+    ``"static"`` and ``None`` resolve to ``None`` — no planner object,
+    the engines' historical code path with zero added work per query.
+    """
+    if planner is None or isinstance(planner, Planner):
+        return planner
+    if planner == "static":
+        return None
+    if planner == "adaptive":
+        return AdaptivePlanner()
+    raise InvalidQueryError(f"planner must be one of {PLANNER_NAMES}")

@@ -1,0 +1,217 @@
+"""Cheap per-query statistics: everything the planner may look at.
+
+The planner must cost less than the work it saves, so every statistic
+here is either O(1) to read (collection shape, cache presence, engine
+capacity) or computed once per collection and memoized
+(:func:`collection_profile` walks the bounds a single time and caches
+the result on a weak reference, so repeated queries — the only case
+where planning pays at all — read it for free).
+
+The module is duck-typed on purpose: a "collection" is anything with
+``n`` / ``total_points`` / ``dimension`` and optionally ``bounds()``
+returning a ``(lows, highs)`` pair of per-axis sequences.  That keeps
+``repro.planner`` importable below every other layer (the layering
+lint pins it to ``repro.errors`` only).
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CollectionProfile:
+    """Shape-and-density summary of one collection (computed once)."""
+
+    n: int
+    total_points: int
+    dimension: int
+    #: Product of per-axis extents (>= 1e-9; degenerate boxes clamp).
+    volume: float
+    #: Points per unit volume.
+    density: float
+
+    @property
+    def mean_points(self) -> float:
+        return self.total_points / self.n if self.n else 0.0
+
+
+#: ``id(collection)`` is unsafe (ids recycle); a weak-keyed map keeps the
+#: profile exactly as long as the collection lives.
+_PROFILE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def collection_profile(collection) -> CollectionProfile:
+    """The memoized :class:`CollectionProfile` for one collection."""
+    try:
+        cached = _PROFILE_CACHE.get(collection)
+    except TypeError:  # unhashable/unweakrefable duck — profile uncached
+        cached = None
+    if cached is not None:
+        return cached
+    n = int(getattr(collection, "n", 0) or 0)
+    total_points = int(getattr(collection, "total_points", 0) or 0)
+    dimension = int(getattr(collection, "dimension", 2) or 2)
+    volume = 1.0
+    bounds = getattr(collection, "bounds", None)
+    if callable(bounds) and total_points:
+        try:
+            lows, highs = bounds()
+            for low, high in zip(lows, highs):
+                volume *= max(float(high) - float(low), 1e-9)
+        except Exception:
+            volume = 1.0
+    volume = max(volume, 1e-9)
+    profile = CollectionProfile(
+        n=n,
+        total_points=total_points,
+        dimension=dimension,
+        volume=volume,
+        density=total_points / volume,
+    )
+    try:
+        _PROFILE_CACHE[collection] = profile
+    except TypeError:
+        pass
+    return profile
+
+
+@dataclass(frozen=True)
+class QueryStatistics:
+    """One query's planning inputs (collection shape + context)."""
+
+    # -- collection shape ------------------------------------------------
+    n: int
+    total_points: int
+    dimension: int
+    density: float
+    # -- the query -------------------------------------------------------
+    r: float
+    k: int
+    ceil_r: int
+    # -- cache / label context ------------------------------------------
+    #: Section III-D labels exist for this ceiling (grid mapping skips
+    #: labeled-useless points, shrinking every downstream phase).
+    labels_available: bool = False
+    #: A session :class:`~repro.grid.cache.LargeKeyCache` is attached.
+    key_cache: bool = False
+    #: A session lower-bound cache is attached (an exact-``r`` repeat
+    #: skips LOWER-BOUNDING entirely; the planner treats it as a hint).
+    lower_cache: bool = False
+    # -- engine capacity -------------------------------------------------
+    cores: int = 1
+    #: The owning engine can run the sharded pipeline.
+    sharding_available: bool = False
+    #: The numpy kernel can serve in this process (feature detection +
+    #: kill switch, captured by the caller so this module stays
+    #: dependency-free).
+    numpy_available: bool = False
+    #: Observed max/mean shard-load ratio from the shard router's plan
+    #: cache (1.0 = balanced or unknown; larger = skewed, discounting
+    #: the predicted parallel speedup).
+    plan_cache_balance: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ceil_r", int(self.ceil_r))
+
+    @property
+    def mean_points(self) -> float:
+        return self.total_points / self.n if self.n else 0.0
+
+    def cache_key(self) -> tuple:
+        """The decision-memo key: every field a decision depends on.
+
+        Same statistics => same decision (the planner is a deterministic
+        function of statistics and calibration state), so batches keyed
+        by ``ceil(r)`` plan once per group.
+        """
+        return (
+            self.n,
+            self.total_points,
+            self.dimension,
+            round(self.density, 12),
+            self.ceil_r,
+            self.k > 1,
+            self.labels_available,
+            self.key_cache,
+            self.lower_cache,
+            self.cores,
+            self.sharding_available,
+            self.numpy_available,
+            round(self.plan_cache_balance, 3),
+        )
+
+    def scaled(self, factor: float) -> "QueryStatistics":
+        """Same workload with ``factor``x the points (density scales too,
+        the extent being a property of the space, not the sample) —
+        the monotonicity tests' knob."""
+        return replace(
+            self,
+            n=max(1, int(self.n * factor)),
+            total_points=max(1, int(self.total_points * factor)),
+            density=self.density * factor,
+        )
+
+
+def capture_statistics(
+    collection,
+    r: float,
+    k: int = 1,
+    *,
+    labels_available: bool = False,
+    key_cache: bool = False,
+    lower_cache: bool = False,
+    cores: int = 1,
+    sharding_available: bool = False,
+    numpy_available: bool = False,
+    plan_cache_balance: float = 1.0,
+) -> QueryStatistics:
+    """Snapshot one query's :class:`QueryStatistics` (the cheap path)."""
+    profile = collection_profile(collection)
+    return QueryStatistics(
+        n=profile.n,
+        total_points=profile.total_points,
+        dimension=profile.dimension,
+        density=profile.density,
+        r=float(r),
+        k=int(k),
+        ceil_r=math.ceil(r),
+        labels_available=bool(labels_available),
+        key_cache=bool(key_cache),
+        lower_cache=bool(lower_cache),
+        cores=max(1, int(cores)),
+        sharding_available=bool(sharding_available),
+        numpy_available=bool(numpy_available),
+        plan_cache_balance=max(1.0, float(plan_cache_balance)),
+    )
+
+
+def statistics_from_profile(profile: dict) -> Optional[QueryStatistics]:
+    """Partial statistics from one telemetry profile dict (PR 8 schema).
+
+    Offline re-ingestion only knows what the profile recorded (``n``,
+    ``r``, ``k``, ``ceil_r``, counters); shape fields the profile lacks
+    fall back to neutral values.  Returns None when the profile is too
+    malformed to use.
+    """
+    try:
+        r = float(profile["r"])
+        n = int(profile.get("n", 0))
+    except (KeyError, TypeError, ValueError):
+        return None
+    if n <= 0 or not r > 0:
+        return None
+    counters = profile.get("counters") or {}
+    mapped = int(counters.get("mapped_points", 0) or 0)
+    return QueryStatistics(
+        n=n,
+        total_points=max(mapped, n),
+        dimension=2,
+        density=0.0,
+        r=r,
+        k=int(profile.get("k", 1) or 1),
+        ceil_r=int(profile.get("ceil_r", math.ceil(r)) or math.ceil(r)),
+    )

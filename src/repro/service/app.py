@@ -170,6 +170,7 @@ class ServiceApp:
             label_dir=label_dir,
             parallel_mode=self.config.parallel_mode,
             shards=self.config.shards,
+            planner=self.config.planner,
         )
         #: Fallback path: the most dependable stack we have -- pure-python
         #: kernel, plain bitsets, serial engine, no shared label directory.

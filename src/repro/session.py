@@ -60,6 +60,7 @@ from repro.obs.recorders import register_cache_metrics
 from repro.obs.telemetry import bind_trace_id, get_telemetry
 from repro.obs.trace import ensure_tracer
 from repro.parallel.engine import PARALLEL_MODES, ParallelMIOEngine
+from repro.planner import AdaptivePlanner, resolve_planner
 from repro.resilience import Deadline
 
 
@@ -176,6 +177,15 @@ class QuerySession:
     label_dir:
         Optional directory for a disk-backed label store (labels survive
         the session, as the paper's external-memory setting assumes).
+    planner:
+        ``"static"`` (default) keeps every knob exactly as configured;
+        ``"adaptive"`` shares one :class:`~repro.planner.adaptive.
+        AdaptivePlanner` across both engines, re-selecting kernel,
+        parallel mode, shard count, lower-bound dispatch, and grid-key
+        policy per query (per ``ceil(r)`` group in batches) from cheap
+        statistics, refined online from observed phase timings.  Every
+        plannable knob is bit-exact across its settings, so answers
+        never depend on the planner (see ``docs/planner.md``).
     """
 
     def __init__(
@@ -191,6 +201,7 @@ class QuerySession:
         kernel: str = "python",
         parallel_mode: str = "sharded",
         shards: Optional[int] = None,
+        planner: str = "static",
     ) -> None:
         if cores < 1:
             raise InvalidQueryError("cores must be at least 1")
@@ -208,6 +219,14 @@ class QuerySession:
         #: Compute-kernel backend forwarded to both engines
         #: (see :mod:`repro.kernels`).
         self.kernel = kernel
+        #: One shared planner instance (or None for ``"static"``): both
+        #: engines feed the same cost model, so calibration learned from
+        #: serial queries informs sharded decisions and vice versa, and
+        #: a ``ceil(r)``-grouped batch plans once per group via the
+        #: planner's decision memo.  Survives dynamic-source engine
+        #: rebuilds on purpose — unit costs describe the host, not one
+        #: collection snapshot.
+        self.planner = resolve_planner(planner)
         #: Optional tracer shared with both engines: batched workloads
         #: produce one ``batch`` root span with a ``request`` child per
         #: query, each containing that query's full phase tree.
@@ -285,6 +304,7 @@ class QuerySession:
             lower_cache=self.lower_cache,
             tracer=self.tracer,
             kernel=self.kernel,
+            planner=self.planner,
         )
         self._parallel = (
             ParallelMIOEngine(
@@ -299,6 +319,7 @@ class QuerySession:
                 kernel=self.kernel,
                 mode=self.parallel_mode,
                 shards=self.shards,
+                planner=self.planner,
             )
             if self.cores > 1
             else None
@@ -565,6 +586,8 @@ class QuerySession:
         if self._parallel is not None and self.parallel_mode == "sharded":
             merged["shard_plan_hits"] = self._parallel.plan_cache.hits
             merged["shard_plan_misses"] = self._parallel.plan_cache.misses
+        if isinstance(self.planner, AdaptivePlanner):
+            merged.update(self.planner.counters())
         return merged
 
     def __repr__(self) -> str:

@@ -257,3 +257,21 @@ class ShardPlanCache:
             self._plans.pop(next(iter(self._plans)))
         self._plans[key] = plan
         return plan
+
+    def observed_balance(self) -> float:
+        """Worst max/mean owned-points ratio across cached plans.
+
+        1.0 means perfectly balanced (or nothing cached yet); larger
+        values mean the curve routing skewed load toward some shard.
+        The adaptive planner reads this to discount the predicted
+        parallel speedup — a skewed plan's makespan follows its most
+        loaded shard, not the mean.
+        """
+        worst = 1.0
+        for plan in self._plans.values():
+            if not plan.owned_points:
+                continue
+            mean = sum(plan.owned_points) / len(plan.owned_points)
+            if mean > 0:
+                worst = max(worst, max(plan.owned_points) / mean)
+        return worst

@@ -1,0 +1,299 @@
+"""Decision-parity suite: every plan the planner can emit is answer-neutral.
+
+The planner's whole contract is "speed only, never answers": each of the
+five plan knobs rides an existing bit-exactness guarantee (the table in
+``repro/planner/plan.py``), so *any* knob assignment forced through the
+production wiring must reproduce the serial reference engine bit for
+bit.  :class:`~repro.planner.FixedPlanner` is the instrument -- it pins
+an arbitrary plan while exercising exactly the code paths the adaptive
+planner drives -- and hypothesis sweeps the (dataset, query, knobs)
+space on top of the pinned golden fixtures borrowed from
+``tests/test_golden_answers.py``.
+
+Serial-vs-serial comparisons are **fully structural** (algorithm,
+winner, score, top-k, every work counter, memory accounting, exactness);
+cross-mode comparisons (sharded / serial-degenerated) compare the answer
+fields the sharded conformance suite already holds counter-exact
+elsewhere.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import MIOEngine
+from repro.kernels import numpy_kernel_available
+from repro.parallel.engine import ParallelMIOEngine
+from repro.planner import AdaptivePlanner, FixedPlanner, Plan
+from repro.session import QuerySession
+
+from conftest import random_collection
+from test_golden_answers import (
+    SESSION_LABEL_GOLDEN,
+    VERIFY_HEAVY_GOLDEN,
+    _VERIFY_COUNTER_KEYS,
+)
+from test_properties import collections, radii
+
+KERNELS = ("python", "numpy") if numpy_kernel_available() else ("python",)
+BITSET_BACKENDS = ("ewah", "plain", "roaring")
+LB_CHOICES = ("auto", "seq", "vectorized")
+GRID_CHOICES = ("auto", "cached", "fresh")
+
+#: Every serial knob assignment the planner could emit on this host.
+SERIAL_PLANS = [
+    Plan(kernel=kernel, lb_dispatch=lb, grid_keys=grid)
+    for kernel in KERNELS
+    for lb in (LB_CHOICES if kernel == "numpy" else ("auto",))
+    for grid in GRID_CHOICES
+]
+
+#: Sharded assignments: shard counts off, at, and above the worker count.
+SHARDED_PLANS = [
+    Plan(kernel=kernel, mode="sharded", shards=shards)
+    for kernel in KERNELS
+    for shards in (1, 2, 3, 5)
+]
+
+
+@pytest.fixture(autouse=True)
+def inline_executor(monkeypatch):
+    """Deterministic inline shard execution: fast and fork-free."""
+    monkeypatch.setenv("REPRO_SHARD_INLINE", "1")
+
+
+@pytest.fixture(scope="module")
+def heavy_collection():
+    return random_collection(n=40, mean_points=8, seed=77)
+
+
+#: Result notes the planner legitimately adds or that name the backend
+#: that ran; everything else must match structurally.
+_NONSTRUCTURAL_NOTES = (
+    "plan",
+    "planner",
+    "plan_reason",
+    "degraded_kernel",
+    "verification_path",
+    "lower_bound_path",
+)
+
+
+def assert_serial_parity(planned, reference):
+    """Full structural equality for serial-vs-serial comparisons."""
+    assert planned.algorithm == reference.algorithm
+    assert planned.r == reference.r
+    assert (planned.winner, planned.score) == (reference.winner, reference.score)
+    assert planned.topk == reference.topk
+    assert planned.counters == reference.counters
+    assert planned.memory_bytes == reference.memory_bytes
+    assert planned.exact == reference.exact
+    planned_notes = {
+        k: v for k, v in planned.notes.items() if k not in _NONSTRUCTURAL_NOTES
+    }
+    reference_notes = {
+        k: v for k, v in reference.notes.items() if k not in _NONSTRUCTURAL_NOTES
+    }
+    assert planned_notes == reference_notes
+
+
+def assert_answer_parity(planned, reference):
+    """Answer equality for cross-mode (serial vs sharded) comparisons."""
+    assert (planned.winner, planned.score) == (reference.winner, reference.score)
+    assert planned.topk == reference.topk
+    assert planned.exact and reference.exact
+
+
+# ----------------------------------------------------------------------
+# Pinned golden answers under forced plans
+# ----------------------------------------------------------------------
+
+
+class TestGoldenUnderForcedPlans:
+    @pytest.mark.parametrize("plan", SERIAL_PLANS, ids=Plan.describe)
+    @pytest.mark.parametrize("r", sorted(VERIFY_HEAVY_GOLDEN))
+    def test_serial_plans_keep_the_verify_heavy_golden(
+        self, heavy_collection, r, plan
+    ):
+        result = MIOEngine(
+            heavy_collection, planner=FixedPlanner(plan)
+        ).query(r)
+        winner, score, *counters = VERIFY_HEAVY_GOLDEN[r]
+        assert result.exact
+        assert (result.winner, result.score) == (winner, score)
+        assert [result.counters[key] for key in _VERIFY_COUNTER_KEYS] == counters
+        assert result.notes["plan"] == plan.describe()
+
+    @pytest.mark.parametrize("plan", SHARDED_PLANS, ids=Plan.describe)
+    @pytest.mark.parametrize("r", sorted(VERIFY_HEAVY_GOLDEN))
+    def test_sharded_plans_keep_the_verify_heavy_answers(
+        self, heavy_collection, r, plan
+    ):
+        engine = ParallelMIOEngine(
+            heavy_collection, cores=2, planner=FixedPlanner(plan)
+        )
+        result = engine.query(r)
+        winner, score, *_ = VERIFY_HEAVY_GOLDEN[r]
+        assert result.exact
+        assert (result.winner, result.score) == (winner, score)
+
+    @pytest.mark.parametrize("backend", BITSET_BACKENDS)
+    def test_adaptive_session_keeps_the_label_sequence_golden(
+        self, heavy_collection, backend
+    ):
+        # The adaptive planner may re-pick kernel / dispatch / grid-key
+        # policy per query; the pinned answers *and* work counters of
+        # the with-label session sequence must be untouched by any of it.
+        session = QuerySession(
+            heavy_collection, backend=backend, planner="adaptive"
+        )
+        for r, algorithm, golden in SESSION_LABEL_GOLDEN:
+            result = session.query(r)
+            winner, score, *counters = golden
+            assert result.algorithm == algorithm, r
+            assert result.exact
+            assert (result.winner, result.score) == (winner, score), r
+            assert [
+                result.counters[key] for key in _VERIFY_COUNTER_KEYS
+            ] == counters, r
+
+
+# ----------------------------------------------------------------------
+# Structural parity against the untouched static path
+# ----------------------------------------------------------------------
+
+
+class TestStructuralParity:
+    @pytest.mark.parametrize("plan", SERIAL_PLANS, ids=Plan.describe)
+    def test_forced_serial_plan_matches_static_reference(
+        self, heavy_collection, plan
+    ):
+        for r in (5.0, 8.0):
+            reference = MIOEngine(heavy_collection).query(r)
+            planned = MIOEngine(
+                heavy_collection, planner=FixedPlanner(plan)
+            ).query(r)
+            assert_serial_parity(planned, reference)
+
+    @pytest.mark.parametrize("plan", SERIAL_PLANS, ids=Plan.describe)
+    def test_forced_plan_matches_static_topk(self, heavy_collection, plan):
+        reference = MIOEngine(heavy_collection).query_topk(8.0, 5)
+        planned = MIOEngine(
+            heavy_collection, planner=FixedPlanner(plan)
+        ).query_topk(8.0, 5)
+        assert_serial_parity(planned, reference)
+
+    @pytest.mark.parametrize("plan", SHARDED_PLANS, ids=Plan.describe)
+    def test_forced_sharded_plan_matches_serial_answers(
+        self, heavy_collection, plan
+    ):
+        reference = MIOEngine(heavy_collection).query(8.0)
+        engine = ParallelMIOEngine(
+            heavy_collection, cores=2, planner=FixedPlanner(plan)
+        )
+        assert_answer_parity(engine.query(8.0), reference)
+
+    def test_serial_degenerated_plan_matches_serial_answers(
+        self, heavy_collection
+    ):
+        # A planner may pull a sharded-mode engine back to the serial
+        # pipeline; the answer must not notice.
+        reference = MIOEngine(heavy_collection).query(8.0)
+        engine = ParallelMIOEngine(
+            heavy_collection, cores=2,
+            planner=FixedPlanner(Plan(mode="serial")),
+        )
+        result = engine.query(8.0)
+        assert result.algorithm == "bigrid"
+        assert_answer_parity(result, reference)
+
+    @pytest.mark.parametrize("backend", BITSET_BACKENDS)
+    def test_adaptive_session_matches_static_session(
+        self, heavy_collection, backend
+    ):
+        static = QuerySession(heavy_collection, backend=backend)
+        adaptive = QuerySession(
+            heavy_collection, backend=backend, planner="adaptive"
+        )
+        # Mixed ceilings, repeats (label replay), and a top-k request.
+        for r in (5.0, 8.0, 8.2, 5.0, 11.7):
+            assert_serial_parity(adaptive.query(r), static.query(r))
+        assert_serial_parity(
+            adaptive.query_topk(8.0, 4), static.query_topk(8.0, 4)
+        )
+
+    def test_adaptive_batch_matches_static_batch(self, heavy_collection):
+        # ceil(r)-grouped batch planning: groups share one decision,
+        # answers stay those of the static session, request for request.
+        requests = [5.0, 8.0, {"r": 8.2, "k": 3}, 5.0, 12.0, 8.4]
+        static = QuerySession(heavy_collection).query_many(requests)
+        adaptive = QuerySession(
+            heavy_collection, planner="adaptive"
+        ).query_many(requests)
+        assert len(static) == len(adaptive)
+        for planned, reference in zip(adaptive, static):
+            assert_serial_parity(planned, reference)
+
+    def test_adaptive_parallel_engine_matches_serial_answers(
+        self, heavy_collection
+    ):
+        reference = MIOEngine(heavy_collection).query(8.0)
+        engine = ParallelMIOEngine(
+            heavy_collection, cores=2, planner="adaptive"
+        )
+        assert_answer_parity(engine.query(8.0), reference)
+
+    def test_calibrated_planner_stays_answer_neutral(self, heavy_collection):
+        # Drift the model hard (absurd synthetic feedback), then verify
+        # whatever it now decides still reproduces the reference.
+        planner = AdaptivePlanner()
+        for _ in range(16):
+            planner.cost_model.observe(
+                Plan(kernel="numpy"),
+                {"verification": 5.0, "grid_mapping": 4.0},
+                {"distance_rows": 1_000, "mapped_points": 1_000},
+            )
+        reference = MIOEngine(heavy_collection).query(8.0)
+        planned = MIOEngine(heavy_collection, planner=planner).query(8.0)
+        assert_serial_parity(planned, reference)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: the (dataset, query, knobs) space
+# ----------------------------------------------------------------------
+
+serial_plans = st.sampled_from(SERIAL_PLANS)
+sharded_plans = st.sampled_from(SHARDED_PLANS)
+
+
+class TestHypothesisParity:
+    @given(collection=collections(), r=radii, plan=serial_plans)
+    @settings(max_examples=40, deadline=None)
+    def test_any_serial_plan_matches_the_reference(self, collection, r, plan):
+        reference = MIOEngine(collection).query(r)
+        planned = MIOEngine(collection, planner=FixedPlanner(plan)).query(r)
+        assert_serial_parity(planned, reference)
+
+    @given(
+        collection=collections(max_objects=10),
+        r=radii,
+        plan=sharded_plans,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_sharded_plan_matches_the_reference(self, collection, r, plan):
+        reference = MIOEngine(collection).query(r)
+        engine = ParallelMIOEngine(
+            collection, cores=2, planner=FixedPlanner(plan)
+        )
+        assert_answer_parity(engine.query(r), reference)
+
+    @given(
+        collection=collections(),
+        rs=st.lists(radii, min_size=1, max_size=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_adaptive_session_sequences_match_static(self, collection, rs):
+        static = QuerySession(collection)
+        adaptive = QuerySession(collection, planner="adaptive")
+        for r in rs + rs:  # repeats exercise the label-replay path
+            assert_serial_parity(adaptive.query(r), static.query(r))
